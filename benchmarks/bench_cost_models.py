@@ -1,0 +1,94 @@
+"""Cost-model comparison bench: flops vs measured vs roofline.
+
+Extends the paper's Section VI-C comparison (flops vs measured) with the
+hardware-aware roofline extension.  For a probe set of op applications, each
+model's estimate is compared against the measured ground truth; the table
+reports the per-model rank correlation — what branch-and-bound actually
+depends on is the *ordering* of candidate costs, not their absolute values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_figure
+from repro.cost import FlopsCostModel, MeasuredCostModel, RooflineCostModel
+from repro.ir import float_tensor, parse
+
+#: Probe programs spanning compute-bound, memory-bound, and overhead-bound.
+PROBES = [
+    "np.dot(A, B)",
+    "A * B",
+    "A + B",
+    "np.power(A, 2.5)",
+    "np.sqrt(A)",
+    "np.sum(A, axis=0)",
+    "np.sum(A)",
+    "np.transpose(A)",
+    "np.exp(A)",
+    "A / B",
+]
+
+TYPES = {"A": float_tensor(256, 256), "B": float_tensor(256, 256)}
+
+
+def _rank_correlation(a: list[float], b: list[float]) -> float:
+    """Spearman rank correlation (scipy-free)."""
+    def ranks(values):
+        order = np.argsort(values)
+        out = np.empty(len(values))
+        out[order] = np.arange(len(values))
+        return out
+
+    ra, rb = ranks(np.asarray(a)), ranks(np.asarray(b))
+    if np.std(ra) == 0 or np.std(rb) == 0:
+        return 1.0
+    return float(np.corrcoef(ra, rb)[0, 1])
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    models = {
+        "flops": FlopsCostModel(),
+        "roofline": RooflineCostModel(),
+        "measured": MeasuredCostModel(),
+    }
+    table: dict[str, list[float]] = {name: [] for name in models}
+    for source in PROBES:
+        node = parse(source, TYPES).node
+        for name, model in models.items():
+            table[name].append(model.program_cost(node))
+    return table
+
+
+def test_cost_model_rank_agreement(benchmark, estimates):
+    """Both analytic models must broadly agree with measurement on ordering;
+    the roofline model (which prices memory traffic) at least as well as
+    bare FLOPs."""
+
+    def compute():
+        truth = estimates["measured"]
+        return {
+            "flops": _rank_correlation(estimates["flops"], truth),
+            "roofline": _rank_correlation(estimates["roofline"], truth),
+        }
+
+    corr = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["Cost-model rank correlation against measured ground truth"]
+    for name, value in corr.items():
+        lines.append(f"{name:<10} {value:6.3f}")
+    write_figure("cost_models.txt", "\n".join(lines))
+    assert corr["roofline"] > 0.5
+    assert corr["roofline"] >= corr["flops"] - 0.15
+
+
+@pytest.mark.parametrize("model_name", ["flops", "roofline", "measured"])
+def test_cost_model_throughput(benchmark, model_name):
+    """Estimator latency: how expensive is pricing a program?"""
+    from repro.cost import make_cost_model
+
+    model = make_cost_model(model_name)
+    node = parse("np.dot(A * B, B) + A", TYPES).node
+    model.program_cost(node)  # prime any measurement cache
+    benchmark(model.program_cost, node)

@@ -1,0 +1,37 @@
+"""Fig. 4 — geometric mean speedups of STENSO-optimized programs.
+
+Paper result (AMD platform): 3.8x on NumPy, 1.9x on JAX, 1.6x on PyTorch.
+We run on a single host platform against the simulated compiled frameworks;
+the expected *shape* is NumPy >> JAX >= PyTorch > 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_figure
+from repro.backends import ALL_BACKEND_NAMES
+from repro.bench import fig4_speedups, format_fig4, geomean
+
+
+def test_fig4(benchmark, evaluations):
+    speedups = benchmark.pedantic(fig4_speedups, args=(evaluations,), rounds=1, iterations=1)
+    write_figure("fig4.txt", format_fig4(speedups))
+    # The paper's qualitative claims, as assertions: optimized programs win
+    # on every framework, most on eager NumPy.
+    assert speedups["numpy"] > 1.3
+    assert speedups["jax"] > 1.0
+    assert speedups["pytorch"] > 1.0
+    assert speedups["numpy"] >= speedups["jax"] * 0.95
+    assert speedups["numpy"] >= speedups["pytorch"] * 0.95
+
+
+@pytest.mark.parametrize("backend", ALL_BACKEND_NAMES)
+def test_fig4_per_backend(benchmark, evaluations, backend):
+    """Per-framework geomean as individual benchmark entries."""
+    value = benchmark.pedantic(
+        lambda: geomean([e.speedup(backend) for e in evaluations]),
+        rounds=1,
+        iterations=1,
+    )
+    assert value >= 1.0

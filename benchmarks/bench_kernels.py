@@ -1,0 +1,60 @@
+"""Per-kernel micro-benchmarks: original vs STENSO-optimized, eager NumPy.
+
+Unlike the figure regenerators (which use the library's own timing runner),
+these entries time each kernel through pytest-benchmark itself, so
+``--benchmark-compare`` and the standard statistics table work on the raw
+kernels.  Only benchmarks whose synthesis improved them get an "optimized"
+entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import COST_MODEL
+from repro.backends import NumPyBackend
+from repro.bench import ALL_BENCHMARKS
+from repro.bench.runner import _timing_program, verify_optimized_at_timing_shapes
+from repro.ir.evaluator import random_inputs
+
+#: A representative cross-section (keeps the micro-benchmark pass fast while
+#: the figure regenerators cover the full suite).
+KERNELS = [
+    "diag_dot",
+    "elem_square",
+    "log_exp_1",
+    "vec_lerp",
+    "mat_vec_prod",
+    "trace_dot",
+    "sum_stack",
+    "scale_dot",
+    "synth_3",
+    "synth_9",
+]
+
+_BY_NAME = {b.name: b for b in ALL_BENCHMARKS}
+
+
+def _prepared(bench, source):
+    program = _timing_program(bench, source) if source else bench.parse_timing()
+    fn = NumPyBackend().prepare(program)
+    env = random_inputs(program.input_types, rng=np.random.default_rng(5))
+    return fn, [env[n] for n in program.input_names]
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_kernel_original(benchmark, name):
+    fn, args = _prepared(_BY_NAME[name], None)
+    benchmark(fn, *args)
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_kernel_optimized(benchmark, store, name):
+    bench = _BY_NAME[name]
+    record = store.get_or_run(bench, cost_model=COST_MODEL)
+    if not record.improved:
+        pytest.skip(f"{name}: not improved under the {COST_MODEL} cost model")
+    assert verify_optimized_at_timing_shapes(bench, record.optimized_source)
+    fn, args = _prepared(bench, record.optimized_source)
+    benchmark(fn, *args)

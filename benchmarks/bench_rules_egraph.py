@@ -1,0 +1,69 @@
+"""Complementarity benchmark: STENSO discovery vs e-graph rule application.
+
+Section VIII: STENSO's discovered transformations "can be incorporated into
+the rule sets of conventional compilers and e-graph-based optimizers".  This
+bench quantifies the division of labour: synthesis (discovery) costs seconds
+per kernel — applying the mined rule via equality saturation to fresh
+programs costs milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import COST_MODEL, write_figure
+from repro.bench import get_benchmark
+from repro.cost import FlopsCostModel
+from repro.egraph import optimize_with_rules
+from repro.ir import float_tensor, parse
+from repro.rules import DISCOVERED_RULES
+
+#: Fresh programs (not benchmark sources) that the catalog rules cover.
+DEPLOY_TARGETS = [
+    ("np.diag(np.dot(P, Q))", {"P": (48, 64), "Q": (64, 48)}),
+    ("(P + Q) / np.sqrt(P + Q)", {"P": (64, 64), "Q": (64, 64)}),
+    ("np.trace(np.dot(P, np.transpose(Q)))", {"P": (48, 64), "Q": (48, 64)}),
+    ("np.power(P, -1)", {"P": (64, 64)}),
+]
+
+
+@pytest.mark.parametrize("source, shapes", DEPLOY_TARGETS, ids=lambda v: str(v)[:24])
+def test_rule_application_is_fast(benchmark, source, shapes):
+    """Equality saturation with the mined-rule catalog, per fresh program."""
+    if isinstance(shapes, dict):
+        types = {k: float_tensor(*v) for k, v in shapes.items()}
+    else:
+        return
+    program = parse(source, types)
+    model = FlopsCostModel()
+
+    best, stats = benchmark(
+        lambda: optimize_with_rules(program.node, list(DISCOVERED_RULES), model)
+    )
+    assert model.program_cost(best) <= model.program_cost(program.node)
+
+
+def test_discovery_vs_application_summary(benchmark, store):
+    """One table: seconds to *discover* each rewrite vs to *apply* it."""
+    import time
+
+    def build():
+        lines = ["Discovery (STENSO synthesis) vs application (e-graph saturation)"]
+        lines.append(f"{'kernel':<34} {'discover (s)':>13} {'apply (ms)':>11}")
+        model = FlopsCostModel()
+        for bench_name, (source, shapes) in zip(
+            ("diag_dot", "synth_3", "trace_dot", "power_neg"), DEPLOY_TARGETS
+        ):
+            record = store.get_or_run(get_benchmark(bench_name), cost_model=COST_MODEL)
+            types = {k: float_tensor(*v) for k, v in shapes.items()}
+            program = parse(source, types)
+            start = time.perf_counter()
+            optimize_with_rules(program.node, list(DISCOVERED_RULES), model)
+            apply_ms = (time.perf_counter() - start) * 1e3
+            lines.append(
+                f"{source[:32]:<34} {record.synthesis_seconds:>13.1f} {apply_ms:>11.1f}"
+            )
+        return "\n".join(lines)
+
+    content = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_figure("rules_egraph.txt", content)

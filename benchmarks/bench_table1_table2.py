@@ -1,0 +1,62 @@
+"""Tables I & II — benchmark definitions and their original execution cost.
+
+Regenerates the two benchmark tables of Section VI-A, augmented with the
+synthesized implementation each benchmark optimizes to, and times every
+*original* implementation under eager NumPy (the baseline all speedups are
+relative to).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import COST_MODEL, write_figure
+from repro.backends import NumPyBackend
+from repro.bench import ALL_BENCHMARKS, GITHUB_BENCHMARKS, SYNTHETIC_BENCHMARKS
+from repro.ir.evaluator import random_inputs
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+def test_original_numpy(benchmark, bench):
+    """Eager-NumPy timing of each original implementation."""
+    program = bench.parse_timing()
+    fn = NumPyBackend().prepare(program)
+    env = random_inputs(program.input_types, rng=np.random.default_rng(3))
+    args = [env[n] for n in program.input_names]
+    benchmark(fn, *args)
+
+
+def test_emit_tables(benchmark, store):
+    """Render Tables I and II with synthesis outcomes."""
+
+    def build() -> str:
+        lines = ["Table I — GitHub benchmarks"]
+        lines.append(f"{'benchmark':<15} {'domain':<24} {'original':<58} optimized")
+        for b in GITHUB_BENCHMARKS:
+            record = store.get(b.name, COST_MODEL, "default")
+            opt = "(not yet synthesized)"
+            if record is not None:
+                opt = (
+                    record.optimized_source.strip().splitlines()[-1].strip()[7:]
+                    if record.improved
+                    else "(unchanged)"
+                )
+            lines.append(f"{b.name:<15} {b.domain:<24} {b.source[:56]:<58} {opt}")
+        lines.append("")
+        lines.append("Table II — synthetic benchmarks")
+        lines.append(f"{'benchmark':<15} {'original':<42} optimized")
+        for b in SYNTHETIC_BENCHMARKS:
+            record = store.get(b.name, COST_MODEL, "default")
+            opt = "(not yet synthesized)"
+            if record is not None:
+                opt = (
+                    record.optimized_source.strip().splitlines()[-1].strip()[7:]
+                    if record.improved
+                    else "(unchanged)"
+                )
+            lines.append(f"{b.name:<15} {b.source[:40]:<42} {opt}")
+        return "\n".join(lines)
+
+    content = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_figure("table1_table2.txt", content)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure-regeneration benchmark harness.
+
+Synthesis results are memoized in ``results/synthesis.json`` (the store) —
+the first full run pays synthesis cost once (the paper's Fig. 5 time), every
+later run only re-times execution.  Generated figure tables are written to
+``results/figN.txt`` and printed with ``pytest -s``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import SynthesisStore, evaluate_suite
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+#: Synthesis budget per benchmark on a store miss (seconds).  Override via
+#: STENSO_SYNTH_TIMEOUT for quick smoke runs.
+SYNTH_TIMEOUT = float(os.environ.get("STENSO_SYNTH_TIMEOUT", "240"))
+
+#: Cost model driving the headline evaluation (the paper uses `measured`).
+COST_MODEL = os.environ.get("STENSO_COST_MODEL", "measured")
+
+
+@pytest.fixture(scope="session")
+def store() -> SynthesisStore:
+    return SynthesisStore()
+
+
+@pytest.fixture(scope="session")
+def evaluations(store):
+    """Synthesis + timing for the whole suite (cached per session)."""
+    return evaluate_suite(
+        store,
+        cost_model=COST_MODEL,
+        measure=True,
+        min_sample_seconds=0.02,
+        samples=3,
+    )
+
+
+def write_figure(name: str, content: str) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / name).write_text(content + "\n")
+    print()
+    print(content)

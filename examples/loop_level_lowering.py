@@ -1,0 +1,48 @@
+"""Looking inside symbolic execution: the loop-level lowering route.
+
+Section IV-A of the paper: "we lower the NumPy program into a loop-level
+representation and execute it on SymPy symbols".  This example makes that
+pipeline visible for the diag_dot kernel:
+
+1. lower ``np.diag(np.dot(A, B))`` to explicit scalar loop nests and print
+   them (the offline stand-in for a scalar-level MLIR dump);
+2. execute the loop nests on SymPy symbols, yielding the target
+   specification Φ;
+3. show the spec equals what the fast tensor-level engine produces — and
+   equals the spec of the rewritten program STENSO discovers, which is the
+   whole reason the rewrite is sound.
+
+Run:  python examples/loop_level_lowering.py
+"""
+
+from repro.ir import float_tensor, parse
+from repro.loopir import lower_program, run_symbolic, to_text
+from repro.symexec import equivalent, symbolic_execute
+
+TYPES = {"A": float_tensor(2, 3), "B": float_tensor(3, 2)}
+
+
+def main() -> None:
+    program = parse("np.diag(np.dot(A, B))", TYPES, name="diag_dot")
+
+    lowered = lower_program(program.node, name="diag_dot")
+    print("1. scalar loop nests:")
+    print(to_text(lowered))
+
+    spec = run_symbolic(lowered)
+    print("\n2. symbolic execution of the loops (the target spec Phi):")
+    for i, entry in enumerate(spec.entries()):
+        print(f"   phi[{i}] = {entry}")
+
+    direct = symbolic_execute(program.node)
+    print(f"\n3. agrees with the tensor-level engine: {equivalent(spec, direct)}")
+
+    rewritten = parse("np.sum(A * np.transpose(B), axis=1)", TYPES)
+    print(
+        "   equals the spec of sum(A * B.T, axis=1): "
+        f"{equivalent(spec, symbolic_execute(rewritten.node))}"
+    )
+
+
+if __name__ == "__main__":
+    main()

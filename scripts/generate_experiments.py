@@ -1,0 +1,202 @@
+"""Generate EXPERIMENTS.md: paper-vs-measured for every table and figure.
+
+Relies on the synthesis store (results/synthesis.json); on a cold store this
+script pays the full synthesis cost (the Fig. 5 measurement itself).
+
+Usage:  python scripts/generate_experiments.py [--cost-model measured]
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+from datetime import date
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.backends import ALL_BACKEND_NAMES  # noqa: E402
+from repro.bench import (  # noqa: E402
+    ALL_BENCHMARKS,
+    SynthesisStore,
+    evaluate_suite,
+    fig4_speedups,
+    fig5_synthesis_times,
+    fig6_class_counts,
+    fig7_class_speedups,
+    fig8_detailed,
+)
+from repro.bench.figures import FIG4_PAPER, FIG6_PAPER, FIG7_PAPER  # noqa: E402
+
+FIG8_PAPER_HIGHLIGHTS = {
+    "vec_lerp": ("numpy", 16.4),
+    "log_exp_1": ("numpy", 23.6),
+    "reshape_dot": ("numpy", 6.1),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cost-model", default="measured")
+    parser.add_argument("--output", type=Path, default=ROOT / "EXPERIMENTS.md")
+    parser.add_argument("--samples", type=int, default=5)
+    args = parser.parse_args()
+
+    store = SynthesisStore()
+    evals = evaluate_suite(
+        store, cost_model=args.cost_model, measure=True,
+        min_sample_seconds=0.03, samples=args.samples,
+    )
+    fig4 = fig4_speedups(evals)
+    fig5 = fig5_synthesis_times(store, cost_model=args.cost_model)
+    fig6 = fig6_class_counts(evals)
+    fig7 = fig7_class_speedups(evals)
+    fig8 = fig8_detailed(evals)
+
+    lines: list[str] = []
+    w = lines.append
+    w("# EXPERIMENTS — paper vs. measured")
+    w("")
+    w(f"Generated {date.today().isoformat()} on `{platform.machine()}` "
+      f"({platform.system()}), Python {platform.python_version()}, "
+      f"cost model `{args.cost_model}`.")
+    w("")
+    w("The paper evaluates on three physical CPUs with real JAX/PyTorch; this")
+    w("reproduction runs on one host against *simulated* compiled frameworks")
+    w("(see DESIGN.md substitutions), so the claims checked here are the")
+    w("paper's *qualitative* ones — orderings, who-wins, and approximate")
+    w("magnitudes — not absolute numbers.")
+    w("")
+
+    # ---- Tables I / II -----------------------------------------------------
+    w("## Tables I & II — benchmark suite")
+    w("")
+    w("| metric | paper | this repo |")
+    w("|---|---|---|")
+    w(f"| GitHub benchmarks | 21 | {sum(b.suite == 'github' for b in ALL_BENCHMARKS)} |")
+    w(f"| synthetic benchmarks | 12 | {sum(b.suite == 'synthetic' for b in ALL_BENCHMARKS)} |")
+    improved = sum(e.record.improved for e in evals)
+    w(f"| benchmarks improved | (all contribute to Fig. 4) | {improved}/33 |")
+    w("")
+    w("Two table entries are repaired as documented in `repro/bench/suite.py`")
+    w("(`inner_prod`'s `np.sum(a, b)` typo, `sum_stack`/`max_stack`'s stray")
+    w("duplicated `axis=0`).  Unimproved benchmarks and the reason:")
+    w("")
+    for e in evals:
+        if not e.record.improved:
+            w(f"* `{e.name}` — see notes below.")
+    w("")
+
+    # ---- Fig. 4 ------------------------------------------------------------
+    w("## Fig. 4 — geomean speedups per framework")
+    w("")
+    w("| framework | paper (AMD) | measured (host) |")
+    w("|---|---|---|")
+    for backend in ALL_BACKEND_NAMES:
+        w(f"| {backend} | {FIG4_PAPER[backend]:.1f}x | {fig4[backend]:.2f}x |")
+    w("")
+    ordering = fig4["numpy"] >= fig4["jax"] >= fig4["pytorch"] > 1.0
+    w(f"Shape check — NumPy ≥ JAX ≥ PyTorch > 1: **{'holds' if ordering else 'VIOLATED'}**.")
+    w("")
+
+    # ---- Fig. 5 ------------------------------------------------------------
+    w("## Fig. 5 — synthesis times")
+    w("")
+    w("| benchmark | B&B (s) | simplification-only (s) | bottom-up (s) |")
+    w("|---|---|---|---|")
+    for row in fig5:
+        def cell(key):
+            val = row.get(key)
+            if val is None:
+                return "—"
+            mark = " ⏱" if row.get(f"{key}_timed_out") else ""
+            found = "" if row.get(f"{key}_improved") else " (no rewrite)"
+            return f"{val:.1f}{mark}{found}"
+        w(f"| {row['benchmark']} | {cell('default')} | {cell('simplification_only')} | {cell('bottom_up')} |")
+    w("")
+    bnb_timeouts = sum(bool(r.get("default_timed_out")) for r in fig5)
+    so_timeouts = sum(bool(r.get("simplification_only_timed_out")) for r in fig5)
+    bnb_improved = sum(bool(r.get("default_improved")) for r in fig5)
+    bu_improved = sum(bool(r.get("bottom_up_improved")) for r in fig5)
+    w(f"Paper: B&B synthesizes all benchmarks (most ≪ 200 s), simplification-only")
+    w(f"times out on ≈1/4, the bottom-up baseline fails to scale.  Measured: B&B")
+    w(f"timeouts {bnb_timeouts}/33, simplification-only timeouts {so_timeouts}/33,")
+    w(f"improved {bnb_improved} (B&B) vs {bu_improved} (bottom-up, 30 s budget).")
+    w("")
+
+    # ---- Fig. 6 ------------------------------------------------------------
+    w("## Fig. 6 — benchmarks per transformation class")
+    w("")
+    w("| class | paper | this repo (improved) |")
+    w("|---|---|---|")
+    for cls, count in sorted(fig6.items(), key=lambda kv: -kv[1]):
+        paper = FIG6_PAPER.get(cls, "—")
+        w(f"| {cls} | {paper} | {count} |")
+    w("")
+
+    # ---- Fig. 7 ------------------------------------------------------------
+    w("## Fig. 7 — geomean speedup per class (NumPy / JAX / PyTorch)")
+    w("")
+    w("| class | paper (AMD) | measured (host) |")
+    w("|---|---|---|")
+    for cls, per_backend in fig7.items():
+        paper_bits = []
+        for backend in ALL_BACKEND_NAMES:
+            val = FIG7_PAPER.get((cls, backend))
+            paper_bits.append(f"{val:.1f}x" if val else "—")
+        measured_bits = [f"{per_backend[b]:.2f}x" for b in ALL_BACKEND_NAMES]
+        w(f"| {cls} | {' / '.join(paper_bits)} | {' / '.join(measured_bits)} |")
+    w("")
+
+    # ---- Fig. 8 ------------------------------------------------------------
+    w("## Fig. 8 — per-benchmark speedups")
+    w("")
+    w("| benchmark | class | numpy | jax | pytorch |")
+    w("|---|---|---|---|---|")
+    for row in sorted(fig8, key=lambda r: (r["class"], r["benchmark"])):
+        cells = " | ".join(f"{row.get(b, float('nan')):.2f}x" for b in ALL_BACKEND_NAMES)
+        w(f"| {row['benchmark']} | {row['class']} | {cells} |")
+    w("")
+    w("Paper highlights vs measured (NumPy):")
+    w("")
+    by_name = {r["benchmark"]: r for r in fig8}
+    for name, (backend, paper_val) in FIG8_PAPER_HIGHLIGHTS.items():
+        measured = by_name[name].get(backend, float("nan"))
+        w(f"* `{name}`: paper {paper_val}x, measured {measured:.2f}x")
+    w("")
+
+    # ---- Notes -------------------------------------------------------------
+    w("## Notes on divergences")
+    w("")
+    w("Benchmarks the measured cost model (4% noise margin, profiling with")
+    w("the program's actual scalar constants) deliberately leaves unchanged")
+    w("on this host:")
+    w("")
+    w("* **elem_square / euclidian_dist** — NumPy ≥ 2 fast-paths")
+    w("  `np.power(A, 2)` to an internal multiply, so the paper's pow→mul")
+    w("  strength reduction is genuinely neutral here (`power_neg`, whose")
+    w("  `-1` exponent has no fast path, still wins and is performed).")
+    w("* **synth_11** — `np.power(A, 5)` loses to the four-multiply chain")
+    w("  under measurement (pow is transcendental); the FLOPS model performs")
+    w("  the rewrite, the measured model declines it.")
+    w("* **reorder_dot** — `x.T @ A @ x` is already the optimal evaluation")
+    w("  order; both the paper's grammar and ours contain no cheaper variant.")
+    w("* **dot_trans / sum_sum / synth_5** — the available rewrite removes")
+    w("  only view-returning transposes, one extra pass over a vector, or a")
+    w("  couple of scalar ops: all below the measurement noise margin, so")
+    w("  shipping them would be fitting noise.")
+    w("* **max_stack** — the Fig. 3 grammar can only spell elementwise max as")
+    w("  `where(less(A,B), B, A)`; whether that beats `stack`+`max` is")
+    w("  host-dependent and the measured model decides per host.  The")
+    w("  `extended_grammar` configuration (`np.maximum` added to the grammar)")
+    w("  reaches the canonical rewrite — see results/ablations.txt.")
+    w("")
+
+    args.output.write_text("\n".join(lines) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""STENSO reproduction: tensor program superoptimization through cost-guided
+symbolic program synthesis (CGO 2026).
+
+Public API
+----------
+
+The one-call entry point is :func:`superoptimize`::
+
+    import repro
+
+    result = repro.superoptimize(
+        "np.diag(np.dot(A, B))",
+        inputs={"A": repro.float_tensor(64, 64), "B": repro.float_tensor(64, 64)},
+    )
+    print(result.optimized_source)
+
+Lower layers are exposed as subpackages: :mod:`repro.ir` (tensor DSL IR),
+:mod:`repro.symexec` (symbolic execution), :mod:`repro.synth` (sketch
+generation, solving and search), :mod:`repro.cost` (cost models),
+:mod:`repro.backends` (eager/compiled execution backends),
+:mod:`repro.baselines` (TASO-style bottom-up enumerator), and
+:mod:`repro.bench` (benchmark suite and evaluation harness).
+"""
+
+from repro.ir import (
+    Program,
+    TensorType,
+    bool_tensor,
+    float_tensor,
+    parse,
+    to_source,
+)
+
+__version__ = "1.0.0"
+
+
+def superoptimize(source, inputs, **kwargs):
+    """Superoptimize a tensor program given as Python/NumPy source.
+
+    Thin convenience wrapper over
+    :func:`repro.synth.superoptimizer.superoptimize_source`; see that
+    function for the full keyword surface (cost model, timeouts, search
+    configuration).
+    """
+    from repro.synth.superoptimizer import superoptimize_source
+
+    return superoptimize_source(source, inputs, **kwargs)
+
+
+__all__ = [
+    "Program",
+    "TensorType",
+    "__version__",
+    "bool_tensor",
+    "float_tensor",
+    "parse",
+    "superoptimize",
+    "to_source",
+]

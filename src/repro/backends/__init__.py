@@ -1,0 +1,46 @@
+"""Execution backends: eager NumPy and simulated compiled frameworks.
+
+JAX and PyTorch are unavailable offline; ``XLASimBackend`` and
+``InductorSimBackend`` reproduce their *structure* — graph capture, a fixed
+rewrite-rule set, CSE/fusion — which is what the paper's comparison
+exercises (see the substitution table in DESIGN.md).
+"""
+
+from repro.backends.base import Backend, CompiledFn
+from repro.backends.codegen import compile_dag, generate_source
+from repro.backends.inductor_sim import INDUCTOR_RULES, InductorSimBackend
+from repro.backends.numpy_backend import NumPyBackend
+from repro.backends.rewriter import NamedRule, RewritePass, constant_fold, named_rule
+from repro.backends.xla_sim import XLA_RULES, XLASimBackend
+
+
+def make_backend(name: str) -> Backend:
+    """Factory over the three evaluated frameworks."""
+    if name == "numpy":
+        return NumPyBackend()
+    if name in ("jax", "xla"):
+        return XLASimBackend()
+    if name in ("pytorch", "inductor", "torch"):
+        return InductorSimBackend()
+    raise ValueError(f"unknown backend {name!r}; supported: numpy, jax, pytorch")
+
+
+ALL_BACKEND_NAMES = ("numpy", "jax", "pytorch")
+
+__all__ = [
+    "ALL_BACKEND_NAMES",
+    "Backend",
+    "CompiledFn",
+    "INDUCTOR_RULES",
+    "InductorSimBackend",
+    "NamedRule",
+    "NumPyBackend",
+    "RewritePass",
+    "XLA_RULES",
+    "XLASimBackend",
+    "compile_dag",
+    "constant_fold",
+    "generate_source",
+    "make_backend",
+    "named_rule",
+]

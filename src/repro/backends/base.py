@@ -1,0 +1,36 @@
+"""Backend interface: how a tensor framework executes a program.
+
+The evaluation compares three execution models (paper Section VI-B):
+
+* eager statement-by-statement execution (NumPy);
+* graph capture + fixed rewrite passes + fused DAG execution (JAX/XLA and
+  PyTorch-Inductor, both *simulated* here — see DESIGN.md).
+
+``prepare`` corresponds to framework compilation/tracing and is excluded
+from timing; the returned callable takes the program inputs positionally.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from repro.ir.parser import Program
+
+CompiledFn = Callable[..., np.ndarray]
+
+
+class Backend(abc.ABC):
+    """A way of executing tensor programs."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def prepare(self, program: Program) -> CompiledFn:
+        """Compile ``program`` into a callable over positional NumPy inputs."""
+
+    def run(self, program: Program, env: dict[str, np.ndarray]) -> np.ndarray:
+        fn = self.prepare(program)
+        return fn(*[env[name] for name in program.input_names])

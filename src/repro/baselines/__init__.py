@@ -1,0 +1,3 @@
+from repro.baselines.bottom_up import BottomUpResult, BottomUpSynthesizer
+
+__all__ = ["BottomUpResult", "BottomUpSynthesizer"]

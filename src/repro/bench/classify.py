@@ -1,0 +1,110 @@
+"""Transformation-class analysis of optimized programs (paper Section VII-C).
+
+The paper manually groups the discovered rewrites into five classes; this
+module automates the grouping with structural heuristics over the
+(original, optimized) pair, checked in priority order:
+
+1. **Vectorization** — the original contains an unrolled Python loop
+   (``index``/``stack`` trace) that the optimized program eliminates;
+2. **Identity Replacement** — an exp/log pair is eliminated, or the
+   contraction/reduction skeleton changes (a mathematical identity swaps
+   e.g. ``diag(dot(...))`` for an elementwise-and-reduce form);
+3. **Redundancy Elimination** — the optimized op multiset is a strict
+   subset of the original's and the removed ops are structural/data
+   movement (``transpose``, ``reshape``, ``stack``, duplicated ``sum``);
+4. **Strength Reduction** — expensive elementwise work (``power``, ``exp``,
+   ``log``, ``sqrt``, ``divide``) decreases with the skeleton unchanged;
+5. **Algebraic Simplification** — arithmetic was rearranged or removed.
+
+The suite's expected labels (the paper's manual grouping) are the ground
+truth for Fig. 6; the automatic classifier is validated against them in the
+test suite, with a handful of documented two-reading divergences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bench.suite import (
+    ALGEBRAIC,
+    IDENTITY,
+    REDUNDANCY,
+    STRENGTH,
+    VECTORIZATION,
+)
+from repro.ir.nodes import Call, Node
+
+#: Weights of expensive elementwise ops (transcendental > division/root).
+_EXPENSIVE_WEIGHT = {"power": 2, "exp": 2, "log": 2, "sqrt": 1, "divide": 1}
+
+#: Ops that define a program's contraction/reduction skeleton.
+_SKELETON = {"dot", "tensordot", "sum", "max", "min", "trace", "diag"}
+
+#: Pure data-movement ops whose removal constitutes redundancy elimination.
+_MOVEMENT = {"transpose", "reshape", "stack", "index", "diag", "sum", "max", "min", "trace"}
+
+
+def op_counts(node: Node) -> Counter:
+    """Multiset of op occurrences in a tree."""
+    return Counter(n.op for n in node.walk() if isinstance(n, Call))
+
+
+def _is_submultiset(small: Counter, big: Counter) -> bool:
+    return all(big[op] >= count for op, count in small.items())
+
+
+def classify(original: Node, optimized: Node) -> str | None:
+    """Transformation class for an (original, optimized) pair.
+
+    Returns None when the programs are identical (no transformation).
+    """
+    if original == optimized:
+        return None
+    orig_ops = op_counts(original)
+    opt_ops = op_counts(optimized)
+
+    # 1. An eliminated unrolled loop is vectorization.
+    if orig_ops["index"] > 0 and opt_ops["index"] < orig_ops["index"]:
+        return VECTORIZATION
+
+    # 2a. exp/log pair elimination is the classic identity replacement.
+    if (
+        orig_ops["exp"] > 0
+        and orig_ops["log"] > 0
+        and opt_ops["exp"] == 0
+        and opt_ops["log"] == 0
+    ):
+        return IDENTITY
+
+    # 3/5. Same or shrunken op multiset: work was rearranged or removed.
+    if orig_ops == opt_ops:
+        return ALGEBRAIC
+    if _is_submultiset(opt_ops, orig_ops):
+        removed = orig_ops - opt_ops
+        if all(op in _MOVEMENT for op in removed):
+            return REDUNDANCY
+        return ALGEBRAIC
+
+    # 2b. A changed contraction/reduction skeleton is an identity swap.
+    orig_skeleton = {op: orig_ops[op] for op in _SKELETON if orig_ops[op]}
+    opt_skeleton = {op: opt_ops[op] for op in _SKELETON if opt_ops[op]}
+    if orig_skeleton != opt_skeleton:
+        return IDENTITY
+
+    # 4. Less expensive elementwise work at the same skeleton.
+    orig_weight = sum(orig_ops[op] * w for op, w in _EXPENSIVE_WEIGHT.items())
+    opt_weight = sum(opt_ops[op] * w for op, w in _EXPENSIVE_WEIGHT.items())
+    if orig_weight > opt_weight:
+        return STRENGTH
+
+    return ALGEBRAIC
+
+
+def class_counts(pairs: list[tuple[Node, Node]]) -> Counter:
+    """Fig. 6: number of transformed benchmarks per class."""
+    counts: Counter = Counter()
+    for original, optimized in pairs:
+        label = classify(original, optimized)
+        if label is not None:
+            counts[label] += 1
+    return counts

@@ -1,0 +1,92 @@
+"""ASCII figure rendering.
+
+The paper's artifact emits ``fig4.pdf`` … ``fig8.pdf``; this offline
+reproduction renders the same series as unicode bar charts, embedded in the
+``results/figN.txt`` reports next to the numeric tables.  Everything here is
+pure string formatting — deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+FULL, PARTIALS = "█", " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar of ``value`` out of ``scale``, ``width`` cells wide."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, min(1.0, value / scale)) * width
+    whole = int(cells)
+    frac = cells - whole
+    partial = PARTIALS[int(frac * 8)] if whole < width else ""
+    return FULL * whole + partial.strip()
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "x",
+    reference: Mapping[str, float] | None = None,
+) -> str:
+    """One bar per key; optional paper-reference values rendered alongside."""
+    if not series:
+        return title
+    label_width = max(len(str(k)) for k in series)
+    scale = max(list(series.values()) + list((reference or {}).values()))
+    lines = [title] if title else []
+    for key, value in series.items():
+        bar = _bar(value, scale, width)
+        suffix = f" {value:.2f}{unit}"
+        if reference and key in reference:
+            suffix += f"  (paper {reference[key]:.1f}{unit})"
+        lines.append(f"{str(key):<{label_width}} {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 32,
+    unit: str = "x",
+) -> str:
+    """Grouped bars: one block per outer key, one bar per inner key."""
+    lines = [title] if title else []
+    scale = max(
+        (value for inner in groups.values() for value in inner.values()), default=1.0
+    )
+    inner_width = max(
+        (len(str(k)) for inner in groups.values() for k in inner), default=1
+    )
+    for group, inner in groups.items():
+        lines.append(f"{group}")
+        for key, value in inner.items():
+            bar = _bar(value, scale, width)
+            lines.append(f"  {str(key):<{inner_width}} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    series: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "s",
+    floor: float = 0.1,
+    markers: Mapping[str, str] | None = None,
+) -> str:
+    """Log-scale bars — synthesis times span three orders of magnitude."""
+    if not series:
+        return title
+    label_width = max(len(str(k)) for k in series)
+    values = {k: max(v, floor) for k, v in series.items()}
+    top = math.log10(max(values.values()) / floor) or 1.0
+    lines = [title] if title else []
+    for key, value in values.items():
+        cells = math.log10(value / floor) / top
+        bar = _bar(cells, 1.0, width)
+        mark = (markers or {}).get(key, "")
+        lines.append(f"{str(key):<{label_width}} {bar} {series[key]:.1f}{unit}{mark}")
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""The STENSO benchmark suite (paper Tables I and II).
+
+21 real-world benchmarks extracted from public GitHub repositories and 12
+synthetic expressions.  Each benchmark carries:
+
+* ``source`` — the original implementation (verbatim from the tables, with
+  two documented repairs: the tables' ``np.sum(a, b)`` for *inner_prod* is
+  spelled as the intended weighted sum ``np.sum(a * b)``, and *sum_stack* /
+  *max_stack* drop a stray duplicated ``axis=0`` argument);
+* ``timing_shapes`` — realistic sizes used for performance measurement;
+* ``synth_shapes`` — small sizes used during synthesis (SymPy tractability);
+  distinct dimensions are used wherever the program allows so that rewrites
+  valid only for coinciding dimensions cannot be synthesized;
+* ``transformation_class`` — the class the paper assigns in Section VII-C.
+
+``reshape_dot`` embeds its dimensions in the source, so its source is a
+template instantiated per shape set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import BenchmarkError
+from repro.ir.parser import Program, parse
+from repro.ir.types import TensorType, float_tensor
+
+# Transformation classes of Section VII-C.
+ALGEBRAIC = "Algebraic Simplification"
+IDENTITY = "Identity Replacement"
+REDUNDANCY = "Redundancy Elimination"
+STRENGTH = "Strength Reduction"
+VECTORIZATION = "Vectorization"
+
+TRANSFORMATION_CLASSES = (ALGEBRAIC, IDENTITY, REDUNDANCY, STRENGTH, VECTORIZATION)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark of the evaluation suite."""
+
+    name: str
+    source: str
+    timing_shapes: Mapping[str, tuple[int, ...]]
+    synth_shapes: Mapping[str, tuple[int, ...]]
+    suite: str  # 'github' | 'synthetic'
+    transformation_class: str
+    pattern: str = ""
+    domain: str = ""
+
+    def source_for(self, shapes: Mapping[str, tuple[int, ...]]) -> str:
+        """Instantiate the source template for a particular shape set."""
+        if "{" not in self.source:
+            return self.source
+        dims: dict[str, int] = {}
+        a_shape = shapes.get("A")
+        if a_shape is not None and len(a_shape) == 3:
+            dims.update(r=a_shape[0], q=a_shape[1], p=a_shape[2])
+        try:
+            return self.source.format(**dims)
+        except (KeyError, IndexError) as exc:
+            raise BenchmarkError(f"{self.name}: cannot instantiate template: {exc}") from exc
+
+    def types_for(self, shapes: Mapping[str, tuple[int, ...]]) -> dict[str, TensorType]:
+        return {name: float_tensor(*shape) for name, shape in shapes.items()}
+
+    def parse_timing(self) -> Program:
+        return parse(
+            self.source_for(self.timing_shapes),
+            self.types_for(self.timing_shapes),
+            name=self.name,
+        )
+
+    def parse_synth(self) -> Program:
+        return parse(
+            self.source_for(self.synth_shapes),
+            self.types_for(self.synth_shapes),
+            name=self.name,
+        )
+
+    @property
+    def dim_map(self) -> dict[int, int]:
+        """Synthesis-dimension -> timing-dimension mapping for cost models.
+
+        Built by aligning ``synth_shapes`` with ``timing_shapes`` axis by
+        axis.  The suite is defined so the mapping is consistent: a synthesis
+        dimension value never corresponds to two different timing sizes.
+        """
+        mapping: dict[int, int] = {}
+        for name, synth_shape in self.synth_shapes.items():
+            timing_shape = self.timing_shapes[name]
+            if len(synth_shape) != len(timing_shape):
+                raise BenchmarkError(f"{self.name}: rank mismatch for input {name!r}")
+            for s, t in zip(synth_shape, timing_shape):
+                if s in mapping and mapping[s] != t:
+                    raise BenchmarkError(
+                        f"{self.name}: synthesis dim {s} maps to both {mapping[s]} and {t}"
+                    )
+                mapping[s] = t
+        return {s: t for s, t in mapping.items() if s != t}
+
+
+def _gh(name, source, timing, synth, cls, pattern, domain) -> Benchmark:
+    return Benchmark(
+        name=name,
+        source=source,
+        timing_shapes=timing,
+        synth_shapes=synth,
+        suite="github",
+        transformation_class=cls,
+        pattern=pattern,
+        domain=domain,
+    )
+
+
+def _syn(name, source, timing, synth, cls) -> Benchmark:
+    return Benchmark(
+        name=name,
+        source=source,
+        timing_shapes=timing,
+        synth_shapes=synth,
+        suite="synthetic",
+        transformation_class=cls,
+    )
+
+
+_M = (384, 384)        # square matrix for timing
+_MV = (1 << 16,)       # long vector for timing
+
+GITHUB_BENCHMARKS: tuple[Benchmark, ...] = (
+    _gh("diag_dot", "np.diag(np.dot(A, B))",
+        {"A": (384, 512), "B": (512, 384)}, {"A": (2, 3), "B": (3, 2)},
+        IDENTITY, "Calculates Gaussian variance reduction.", "Astrophysics"),
+    _gh("elem_square", "np.power(A, 2)",
+        {"A": _M}, {"A": (2, 3)},
+        STRENGTH, "Calculates differences for L2 norm.", "AI/ML"),
+    _gh("log_exp_1", "np.exp(np.log(A + B))",
+        {"A": _M, "B": _M}, {"A": (2, 3), "B": (2, 3)},
+        IDENTITY, "Adds two Gaussian probability densities.", "AI/ML"),
+    _gh("log_exp_2", "np.exp(np.log(A) - np.log(B))",
+        {"A": _M, "B": _M}, {"A": (2, 3), "B": (2, 3)},
+        IDENTITY, "Builds up a constraint Gaussian.", "Statistical Computing"),
+    _gh("mat_vec_prod", "np.sum(A * x, axis=1)",
+        {"A": (512, 512), "x": (512,)}, {"A": (2, 3), "x": (3,)},
+        IDENTITY, "Computes total profit for items.", "Optimization Algorithms"),
+    _gh("dot_trans", "np.dot(A.T, x.T)",
+        {"A": (512, 512), "x": (512,)}, {"A": (3, 2), "x": (3,)},
+        STRENGTH, "Calculates rotation matrix for alignment.", "Biomechanics"),
+    _gh("scalar_sum", "np.sum(A * x, axis=0)",
+        {"A": (512, 512), "x": (512,)}, {"A": (2, 3), "x": (3,)},
+        ALGEBRAIC, "Calculates a weighted statistical moment.", "Environmental Science"),
+    # vec_lerp/synth_10 keep the *loop* dimension at its real size during
+    # synthesis: the unroll count is syntactic and cannot be re-mapped by the
+    # cost model, so it must match the timing shape (see DESIGN.md).
+    _gh("vec_lerp", "np.stack([(x*a + (1-a)*y) for a in A])",
+        {"A": (12,), "x": (256,), "y": (256,)}, {"A": (12,), "x": (2,), "y": (2,)},
+        VECTORIZATION, "Creates a color gradient from distance.", "Computer Graphics"),
+    _gh("euclidian_dist", "np.sum(np.power(A, 2), axis=-1)",
+        {"A": (512, 512)}, {"A": (2, 3)},
+        STRENGTH, "Calculates Euclidean distance of matrix.", "Scientific Computing"),
+    _gh("common_factor", "A * B + C * B",
+        {"A": _MV, "B": _MV, "C": _MV}, {"A": (3,), "B": (3,), "C": (3,)},
+        ALGEBRAIC, "Combines vectors for smoothing.", "Augmented Reality"),
+    _gh("inner_prod", "np.sum(a * b)",
+        {"a": _MV, "b": _MV}, {"a": (3,), "b": (3,)},
+        IDENTITY, "Calculates weighted average ion charge.", "Physics"),
+    _gh("scale_dot", "np.dot(a * A, B)",
+        {"a": (), "A": (512, 512), "B": (512,)}, {"a": (), "A": (2, 3), "B": (3,)},
+        STRENGTH, "Computes matrix product with scaling.", "Benchmarking"),
+    _gh("reshape_dot",
+        "np.reshape(np.dot(np.reshape(A, ({r}, {q}, 1, {p})), B), ({r}, {q}, {p}))",
+        {"A": (32, 48, 64), "B": (64, 64)}, {"A": (2, 3, 4), "B": (4, 4)},
+        REDUNDANCY, "Kernel of a scientific simulation.", "Benchmarking"),
+    _gh("dot_trans_2", "np.transpose(np.transpose(A))",
+        {"A": _M}, {"A": (2, 3)},
+        REDUNDANCY, "Double transpose of a matrix.", "Physics Simulation"),
+    _gh("power_neg", "np.power(A, -1)",
+        {"A": _M}, {"A": (2, 3)},
+        STRENGTH, "Element-wise inverse of a matrix.", "AI/ML"),
+    _gh("sum_sum", "np.sum(np.sum(A, axis=0), axis=0)",
+        {"A": _M}, {"A": (2, 3)},
+        REDUNDANCY, "Sums a matrix over two axes.", "AI/ML"),
+    # sum_stack/max_stack synthesis dims deliberately avoid the *stack
+    # count* values (3 resp. 2): a structural dimension created by stacking
+    # shares no identity with input dims, and a value collision would make
+    # the cost model's dim map inflate the stacked axis (see DESIGN.md).
+    _gh("sum_stack", "np.sum(np.stack([A, B, C]), axis=0)",
+        {"A": _M, "B": _M, "C": _M}, {"A": (4, 5), "B": (4, 5), "C": (4, 5)},
+        REDUNDANCY, "Stacks and sums multiple matrices.", "Computational Biology"),
+    _gh("sum_diag_dot", "np.sum(np.diag(np.dot(A, B)))",
+        {"A": (384, 512), "B": (512, 384)}, {"A": (2, 3), "B": (3, 2)},
+        IDENTITY, "Calculates trace of a dot product.", "Audio Processing"),
+    _gh("max_stack", "np.max(np.stack([A, B]), axis=0)",
+        {"A": _M, "B": _M}, {"A": (4, 5), "B": (4, 5)},
+        REDUNDANCY, "Stacks and finds element-wise max.", "Computational Biology"),
+    _gh("trace_dot", "np.trace(A @ B.T)",
+        {"A": (384, 512), "B": (384, 512)}, {"A": (2, 3), "B": (2, 3)},
+        IDENTITY, "Calculates trace of a matrix product.", "Computer Graphics"),
+    _gh("reorder_dot", "x.T @ A @ x",
+        {"x": (768,), "A": (768, 768)}, {"x": (3,), "A": (3, 3)},
+        REDUNDANCY, "Computes the quadratic form x^T A x.", "Network Simulation"),
+)
+
+SYNTHETIC_BENCHMARKS: tuple[Benchmark, ...] = (
+    _syn("synth_1", "(A * B) + 3 * (A * B)", {"A": _M, "B": _M},
+         {"A": (2, 3), "B": (2, 3)}, ALGEBRAIC),
+    _syn("synth_2", "A + B - A - A + B * B - B", {"A": _M, "B": _M},
+         {"A": (2, 3), "B": (2, 3)}, ALGEBRAIC),
+    _syn("synth_3", "(A + B) / np.sqrt(A + B)", {"A": _M, "B": _M},
+         {"A": (2, 3), "B": (2, 3)}, ALGEBRAIC),
+    _syn("synth_4", "A + A + B - A - A - B * B", {"A": _M, "B": _M},
+         {"A": (2, 3), "B": (2, 3)}, ALGEBRAIC),
+    _syn("synth_5", "np.power(np.sqrt(a), 4) + 2 * B", {"a": (), "B": _M},
+         {"a": (), "B": (2, 3)}, STRENGTH),
+    _syn("synth_6", "np.power(np.sqrt(A) + np.sqrt(A), 2)", {"A": _M},
+         {"A": (2, 3)}, ALGEBRAIC),
+    _syn("synth_7", "np.power(A, 6) / np.power(A, 4)", {"A": _M},
+         {"A": (2, 3)}, STRENGTH),
+    _syn("synth_8", "A * B + A * B", {"A": _M, "B": _M},
+         {"A": (2, 3), "B": (2, 3)}, ALGEBRAIC),
+    _syn("synth_9", "np.sum(np.sum(A * x, axis=0))", {"A": (512, 512), "x": (512,)},
+         {"A": (2, 3), "x": (3,)}, IDENTITY),
+    _syn("synth_10", "np.stack([x * 2 for x in A], axis=0)", {"A": (12, 512)},
+         {"A": (12, 3)}, VECTORIZATION),
+    _syn("synth_11", "A * A * A * A * A", {"A": _M},
+         {"A": (2, 3)}, STRENGTH),
+    _syn("synth_12", "A + A + A + A + A", {"A": _M},
+         {"A": (2, 3)}, ALGEBRAIC),
+)
+
+ALL_BENCHMARKS: tuple[Benchmark, ...] = GITHUB_BENCHMARKS + SYNTHETIC_BENCHMARKS
+
+_BY_NAME = {b.name: b for b in ALL_BENCHMARKS}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise BenchmarkError(f"unknown benchmark {name!r}") from None
+
+
+def benchmark_names(suite: str | None = None) -> list[str]:
+    """Names, optionally filtered to 'github' or 'synthetic'."""
+    return [b.name for b in ALL_BENCHMARKS if suite is None or b.suite == suite]

@@ -1,0 +1,187 @@
+"""STENSO command-line interface (paper Appendix F).
+
+Usage matches the artifact's entry point::
+
+    python -m repro.cli.main --program original.py --synth_out optimized.py \\
+                             --cost_estimator measured
+
+The program file contains a single function over NumPy arrays (or a bare
+expression).  Input shapes come either from a module-level ``SHAPES`` dict in
+the program file::
+
+    SHAPES = {"A": (64, 64), "B": (64, 64)}
+
+    def kernel(A, B):
+        return np.diag(np.dot(A, B))
+
+or from the ``--shapes`` flag (``--shapes "A=64,64;B=64,64"``; a scalar is
+an empty spec: ``a=``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.suite import benchmark_names, get_benchmark
+from repro.errors import StensoError
+from repro.ir.types import TensorType, float_tensor
+from repro.synth.config import SynthesisConfig
+from repro.synth.superoptimizer import superoptimize_source
+
+
+def parse_shapes_flag(spec: str) -> dict[str, TensorType]:
+    """Parse ``"A=64,64;B=64"`` into tensor types."""
+    out: dict[str, TensorType] = {}
+    for item in spec.split(";"):
+        item = item.strip()
+        if not item:
+            continue
+        name, _, dims = item.partition("=")
+        dims = dims.strip()
+        shape = tuple(int(d) for d in dims.split(",") if d.strip()) if dims else ()
+        out[name.strip()] = float_tensor(*shape)
+    return out
+
+
+def load_program_file(path: Path) -> tuple[str, dict[str, TensorType] | None]:
+    """Source text plus the SHAPES dict, if the file declares one."""
+    text = path.read_text()
+    shapes: dict[str, TensorType] | None = None
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        raise StensoError(f"cannot parse {path}: {exc}") from exc
+    source_parts: list[str] = []
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "SHAPES"
+        ):
+            raw = ast.literal_eval(stmt.value)
+            shapes = {k: float_tensor(*v) for k, v in raw.items()}
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            continue  # `import numpy as np` headers are implied
+        else:
+            source_parts.append(ast.get_source_segment(text, stmt) or "")
+    return "\n".join(p for p in source_parts if p), shapes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stenso",
+        description="Superoptimize a NumPy tensor program via cost-guided symbolic synthesis.",
+    )
+    parser.add_argument("--program", type=Path, help="Source program in Python.")
+    parser.add_argument(
+        "--synth_out",
+        type=Path,
+        default=None,
+        help="Output file for the synthesized program (stdout if omitted).",
+    )
+    parser.add_argument(
+        "--cost_estimator",
+        choices=("flops", "measured"),
+        default="flops",
+        help="Cost estimator to use. Supported: flops, measured.",
+    )
+    parser.add_argument("--shapes", default=None, help='Input shapes, e.g. "A=64,64;B=64".')
+    parser.add_argument(
+        "--benchmark",
+        default=None,
+        help="Run a named suite benchmark instead of --program "
+        f"(one of: {', '.join(benchmark_names()[:4])}, ...).",
+    )
+    parser.add_argument("--list-benchmarks", action="store_true", help="List suite benchmarks.")
+    parser.add_argument("--timeout", type=float, default=600.0, help="Synthesis budget (s).")
+    parser.add_argument("--max-depth", type=int, default=2, help="Stub enumeration depth.")
+    parser.add_argument(
+        "--no-branch-and-bound",
+        action="store_true",
+        help="Disable cost-based pruning (simplification objective only).",
+    )
+    parser.add_argument("--shrink", type=int, default=3, help="Synthesis dimension cap (0 = off).")
+    parser.add_argument("--stats", action="store_true", help="Print search statistics.")
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="Print a full optimization report (cost breakdown, class, mined rule).",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_benchmarks:
+        for name in benchmark_names():
+            print(name)
+        return 0
+
+    config = SynthesisConfig(
+        timeout_seconds=args.timeout,
+        max_depth=args.max_depth,
+        use_branch_and_bound=not args.no_branch_and_bound,
+    )
+
+    if args.benchmark:
+        bench = get_benchmark(args.benchmark)
+        source = bench.source_for(bench.synth_shapes)
+        inputs: dict[str, TensorType] = bench.types_for(bench.synth_shapes)
+        shrink = None
+        name = bench.name
+    else:
+        if not args.program:
+            print("error: one of --program / --benchmark is required", file=sys.stderr)
+            return 2
+        source, file_shapes = load_program_file(args.program)
+        inputs = parse_shapes_flag(args.shapes) if args.shapes else file_shapes
+        if not inputs:
+            print(
+                "error: no input shapes (declare SHAPES in the file or pass --shapes)",
+                file=sys.stderr,
+            )
+            return 2
+        shrink = args.shrink or None
+        name = args.program.stem
+
+    start = time.time()
+    try:
+        result = superoptimize_source(
+            source,
+            inputs,
+            cost_model=args.cost_estimator,
+            config=config,
+            name=name,
+            shrink=shrink,
+        )
+    except StensoError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(result.summary(), file=sys.stderr)
+    if args.stats:
+        for key, value in result.stats.as_dict().items():
+            print(f"  {key}: {value}", file=sys.stderr)
+    if args.report:
+        from repro.cost import make_cost_model
+        from repro.report import render_report
+
+        model = make_cost_model(args.cost_estimator)
+        print(render_report(result, model), file=sys.stderr)
+    output = result.optimized_source
+    if args.synth_out:
+        args.synth_out.write_text("import numpy as np\n\n\n" + output)
+        print(f"wrote {args.synth_out}", file=sys.stderr)
+    else:
+        print(output, end="")
+    print(f"total {time.time() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

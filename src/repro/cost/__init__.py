@@ -1,0 +1,37 @@
+"""Cost models guiding the branch-and-bound search (paper Sections V-B, VI-C)."""
+
+from repro.cost.base import CostModel, DimMapper
+from repro.cost.flops import NODE_EPSILON, FlopsCostModel
+from repro.cost.measured import MeasuredCostModel
+from repro.cost.roofline import MachineParameters, RooflineCostModel, calibrate
+
+
+def make_cost_model(name: str, **kwargs) -> CostModel:
+    """Factory matching the CLI's ``--cost_estimator`` flag.
+
+    Keyword arguments (``dim_map``, ``scale``, ``cap``, ...) are forwarded to
+    the model constructor.  ``roofline`` is this reproduction's extension
+    implementing the paper's hardware-aware future-work direction.
+    """
+    if name == "flops":
+        return FlopsCostModel(**kwargs)
+    if name == "measured":
+        return MeasuredCostModel(**kwargs)
+    if name == "roofline":
+        return RooflineCostModel(**kwargs)
+    raise ValueError(
+        f"unknown cost estimator {name!r}; supported: flops, measured, roofline"
+    )
+
+
+__all__ = [
+    "CostModel",
+    "DimMapper",
+    "FlopsCostModel",
+    "MachineParameters",
+    "MeasuredCostModel",
+    "NODE_EPSILON",
+    "RooflineCostModel",
+    "calibrate",
+    "make_cost_model",
+]

@@ -1,0 +1,130 @@
+"""Cost model interface.
+
+A cost model estimates the execution cost of an IR program on a target
+platform.  The branch-and-bound search accumulates these estimates per
+sketch (Section V-B); effectiveness of pruning depends directly on the
+model's fidelity.
+
+Costs are accounted per *syntactic* op occurrence: the eager NumPy backend
+evaluates every occurrence, so a tree that uses the same subexpression twice
+pays twice.  This matches what the measured model observes on real runs.
+
+Representative shapes
+---------------------
+
+Synthesis runs on small shapes (SymPy tractability) while the paper profiles
+sketches at *representative* shapes (Section VI-C).  Both models therefore
+accept a ``dim_map``: a mapping from synthesis dimension sizes to the
+benchmark's real sizes (e.g. ``{2: 384, 3: 512}``), applied to every type
+before costing.  Crucially the mapping is identity on dimensions it does not
+mention, so unrolled-loop programs — whose syntactic repetition count cannot
+scale — stay consistently priced by giving the loop dimension its real size
+during synthesis.  A uniform ``scale`` factor is also supported for
+ablations, and ``cap`` bounds mapped dimensions (used by the measured model
+to keep profiling cheap).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping
+
+from repro.ir.nodes import Call, Node
+from repro.ir.types import TensorType
+
+
+class DimMapper:
+    """Maps synthesis-time dimensions to representative costing dimensions."""
+
+    def __init__(
+        self,
+        dim_map: Mapping[int, int] | None = None,
+        scale: int = 1,
+        cap: int | None = None,
+    ) -> None:
+        self.dim_map = dict(dim_map or {})
+        self.scale = scale
+        self.cap = cap
+
+    def dim(self, d: int) -> int:
+        mapped = self.dim_map.get(d)
+        if mapped is None:
+            mapped = d * self.scale if d > 1 else d
+        if self.cap is not None and mapped > self.cap:
+            mapped = self.cap
+        return mapped
+
+    def shape(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(self.dim(d) for d in shape)
+
+    def type(self, t: TensorType) -> TensorType:
+        return t.with_shape(self.shape(t.shape))
+
+    def attrs(self, attrs: Mapping[str, Any]) -> dict[str, Any]:
+        out = dict(attrs)
+        if out.get("shape") is not None:
+            out["shape"] = self.shape(tuple(out["shape"]))
+        return out
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.dim_map and self.scale == 1 and self.cap is None
+
+
+class CostModel(abc.ABC):
+    """Estimates execution cost of ops and programs."""
+
+    name: str = "abstract"
+
+    #: Relative noise floor of the model's estimates.  Algorithm 1 only
+    #: declares a candidate an improvement when it beats the original by
+    #: more than this margin — a measured model's sub-percent "wins" are
+    #: indistinguishable from timing noise and would ship regressions.
+    decision_margin: float = 0.0
+
+    def __init__(
+        self,
+        dim_map: Mapping[int, int] | None = None,
+        scale: int = 1,
+        cap: int | None = None,
+    ) -> None:
+        self.mapper = DimMapper(dim_map, scale, cap)
+
+    @abc.abstractmethod
+    def op_cost(
+        self,
+        op: str,
+        arg_types: list[TensorType],
+        out_type: TensorType,
+        attrs: Mapping[str, Any],
+    ) -> float:
+        """Estimated cost of a single op application (pre-mapped types)."""
+
+    def call_cost(self, node: Call) -> float:
+        from repro.ir.nodes import Const
+
+        attrs = self.mapper.attrs(dict(node.attrs))
+        # Scalar constant operands change real op cost (NumPy fast-paths
+        # np.power(A, 2) but not np.power(A, 1.37)); expose them so measured
+        # models can profile with the actual value.
+        const_args = {
+            i: float(a.value)
+            for i, a in enumerate(node.args)
+            if isinstance(a, Const) and a.is_scalar and a.type.dtype.value == "float"
+        }
+        if const_args:
+            attrs["__const_args"] = tuple(sorted(const_args.items()))
+        return self.op_cost(
+            node.op,
+            [self.mapper.type(a.type) for a in node.args],
+            self.mapper.type(node.type),
+            attrs,
+        )
+
+    def program_cost(self, node: Node) -> float:
+        """Total cost of a program tree (every op occurrence counted)."""
+        total = 0.0
+        for n in node.walk():
+            if isinstance(n, Call):
+                total += self.call_cost(n)
+        return total

@@ -1,0 +1,40 @@
+"""FLOPS cost model (the paper's ``flops`` estimator).
+
+Follows the JAX/XLA FLOP-counting convention implemented in
+:mod:`repro.ir.ops`: contractions cost two FLOPs per multiply-add,
+elementwise ops one FLOP per output element, and data-movement ops zero
+FLOPs.  Types are passed through the model's :class:`~repro.cost.base.DimMapper`
+(representative shapes) before counting; see the base-class docstring.
+
+Every op application additionally pays a tiny :data:`NODE_EPSILON` so data
+movement still breaks ties — of two zero-FLOP programs (``A`` vs
+``transpose(transpose(A))``) the smaller one wins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.cost.base import CostModel
+from repro.ir.ops import get_op
+from repro.ir.types import TensorType
+
+#: Per-op constant added to every application (models dispatch overhead and
+#: breaks ties between FLOP-equal programs).
+NODE_EPSILON = 1e-3
+
+
+class FlopsCostModel(CostModel):
+    """Theoretical FLOP-count estimator (paper's ``--cost_estimator flops``)."""
+
+    name = "flops"
+
+    def op_cost(
+        self,
+        op: str,
+        arg_types: list[TensorType],
+        out_type: TensorType,
+        attrs: Mapping[str, Any],
+    ) -> float:
+        spec = get_op(op)
+        return spec.flops(arg_types, out_type, dict(attrs)) + NODE_EPSILON

@@ -1,0 +1,126 @@
+"""Hardware-aware roofline cost model (the paper's stated future work).
+
+The conclusion names "hardware-aware cost models" as future work; this model
+is the natural first step beyond FLOP counting and black-box measurement: a
+*roofline* estimate.  Each op's time is bounded below by both its compute
+time (FLOPs / peak FLOP rate) and its memory time (bytes moved / peak
+bandwidth); the model takes the max of the two plus a fixed per-op dispatch
+overhead:
+
+    cost(op) = overhead + max(flops / peak_flops, bytes / peak_bandwidth)
+
+Unlike the measured model it needs only three machine parameters — which
+:func:`calibrate` obtains from two micro-benchmarks — and then prices *any*
+op analytically, including shapes never profiled.  Unlike the FLOPS model it
+prices data movement, so transposes, stacks, and Python-loop dispatch
+overhead (the Vectorization class) are all visible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.cost.base import CostModel
+from repro.ir.ops import get_op
+from repro.ir.types import TensorType
+
+BYTES_PER_ELEMENT = 8  # float64
+
+
+@dataclass(frozen=True)
+class MachineParameters:
+    """Calibrated host characteristics."""
+
+    peak_flops: float  # floating-point ops / second (dense matmul)
+    peak_bandwidth: float  # bytes / second (streaming elementwise)
+    dispatch_overhead: float  # seconds per NumPy call
+
+    @property
+    def machine_balance(self) -> float:
+        """FLOPs per byte at the roofline ridge point."""
+        return self.peak_flops / self.peak_bandwidth
+
+
+#: Conservative defaults for a modern laptop/desktop CPU core complex.
+DEFAULT_MACHINE = MachineParameters(
+    peak_flops=5e10,  # 50 GFLOP/s
+    peak_bandwidth=2e10,  # 20 GB/s
+    dispatch_overhead=5e-7,  # 0.5 us per call
+)
+
+
+def calibrate(size: int = 512, repeats: int = 3) -> MachineParameters:
+    """Measure the three machine parameters with micro-benchmarks."""
+    rng = np.random.default_rng(7)
+    a = rng.random((size, size))
+    b = rng.random((size, size))
+
+    def best_of(fn, loops):
+        fn()
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(loops):
+                fn()
+            best = min(best, (time.perf_counter() - start) / loops)
+        return best
+
+    matmul_seconds = best_of(lambda: a @ b, 3)
+    peak_flops = 2 * size**3 / matmul_seconds
+
+    add_seconds = best_of(lambda: a + b, 20)
+    moved = 3 * size * size * BYTES_PER_ELEMENT  # two reads + one write
+    peak_bandwidth = moved / add_seconds
+
+    tiny = rng.random(2)
+    overhead = best_of(lambda: tiny + tiny, 2000)
+
+    return MachineParameters(peak_flops, peak_bandwidth, overhead)
+
+
+def _bytes_moved(arg_types: list[TensorType], out_type: TensorType) -> float:
+    """Streaming traffic: read every input element, write every output."""
+    read = sum(t.size for t in arg_types)
+    return float(read + out_type.size) * BYTES_PER_ELEMENT
+
+
+#: Ops that move no data at all in NumPy (views / metadata only).
+_FREE_VIEWS = {"transpose", "reshape"}
+
+
+class RooflineCostModel(CostModel):
+    """Analytic hardware-aware estimator: max(compute, memory) + overhead."""
+
+    name = "roofline"
+    decision_margin = 0.02
+
+    def __init__(
+        self,
+        dim_map: Mapping[int, int] | None = None,
+        scale: int = 1,
+        cap: int | None = None,
+        machine: MachineParameters | None = None,
+    ) -> None:
+        super().__init__(dim_map, scale, cap)
+        self.machine = machine or DEFAULT_MACHINE
+
+    def op_cost(
+        self,
+        op: str,
+        arg_types: list[TensorType],
+        out_type: TensorType,
+        attrs: Mapping[str, Any],
+    ) -> float:
+        attrs = {k: v for k, v in attrs.items() if k != "__const_args"}
+        spec = get_op(op)
+        if op in _FREE_VIEWS:
+            return self.machine.dispatch_overhead * 1e6
+        flops = spec.flops(arg_types, out_type, dict(attrs))
+        compute_seconds = flops / self.machine.peak_flops
+        memory_seconds = _bytes_moved(arg_types, out_type) / self.machine.peak_bandwidth
+        seconds = self.machine.dispatch_overhead + max(compute_seconds, memory_seconds)
+        return seconds * 1e6  # microseconds, same unit as the measured model

@@ -1,0 +1,171 @@
+"""A compact egg-style e-graph over the tensor IR.
+
+The paper positions STENSO as *complementary* to equality-saturation
+optimizers (TENSAT et al., Section VIII): the rewrites it discovers "can be
+extracted and added as new rules to e-graph-based systems".  This package
+provides the receiving side of that hand-off: an e-graph whose nodes are
+tensor IR operations, equality saturation driven by
+:class:`repro.rules.MinedRule` patterns, and cost-based extraction using the
+same cost models that guide STENSO's own search.
+
+Design follows egg (Willsey et al., POPL 2021): hash-consed e-nodes over
+canonical child ids, a worklist-based ``rebuild`` restoring congruence
+closure after merges, and batched rule application per saturation iteration.
+
+Every e-class carries the (unique) :class:`TensorType` of its members —
+tensor programs are typed, and rewrites never change a node's type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import StensoError
+from repro.ir.nodes import Call, Const, Input, Node
+from repro.ir.types import TensorType
+from repro.egraph.unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class ENode:
+    """An operator applied to e-class ids (a leaf wraps an Input/Const)."""
+
+    op: str  # op name, or "input:<name>" / "const" for leaves
+    children: tuple[int, ...]
+    attrs: tuple = ()
+    leaf: Node | None = None  # the Input/Const node for leaves
+
+    def canonicalize(self, uf: UnionFind) -> "ENode":
+        canon = tuple(uf.find(c) for c in self.children)
+        if canon == self.children:
+            return self
+        return ENode(self.op, canon, self.attrs, self.leaf)
+
+
+class EGraph:
+    """Typed e-graph with hash-consing and congruence closure."""
+
+    def __init__(self) -> None:
+        self._uf = UnionFind()
+        self._memo: dict[ENode, int] = {}
+        self._classes: dict[int, set[ENode]] = {}
+        self._types: dict[int, TensorType] = {}
+        self._parents: dict[int, list[tuple[ENode, int]]] = {}
+        self._pending: list[int] = []
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def num_classes(self) -> int:
+        return len({self.find(c) for c in self._classes})
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(nodes) for c, nodes in self._classes.items() if self.find(c) == c)
+
+    def find(self, id_: int) -> int:
+        return self._uf.find(id_)
+
+    def type_of(self, id_: int) -> TensorType:
+        return self._types[self.find(id_)]
+
+    def nodes_of(self, id_: int) -> set[ENode]:
+        return self._classes[self.find(id_)]
+
+    def classes(self) -> Iterator[tuple[int, set[ENode]]]:
+        for cid, nodes in self._classes.items():
+            if self.find(cid) == cid:
+                yield cid, nodes
+
+    # -- construction -----------------------------------------------------------
+
+    def add_enode(self, enode: ENode, type: TensorType) -> int:
+        enode = enode.canonicalize(self._uf)
+        existing = self._memo.get(enode)
+        if existing is not None:
+            return self.find(existing)
+        cid = self._uf.make_set()
+        self._memo[enode] = cid
+        self._classes[cid] = {enode}
+        self._types[cid] = type
+        self._parents[cid] = []
+        for child in enode.children:
+            self._parents[self.find(child)].append((enode, cid))
+        return cid
+
+    def add_term(self, node: Node) -> int:
+        """Add an IR tree; returns the e-class id of its root."""
+        if isinstance(node, (Input, Const)):
+            label = f"input:{node.name}" if isinstance(node, Input) else f"const:{hash(node)}"
+            return self.add_enode(ENode(label, (), leaf=node), node.type)
+        assert isinstance(node, Call)
+        children = tuple(self.add_term(a) for a in node.args)
+        return self.add_enode(ENode(node.op, children, node.attrs), node.type)
+
+    def merge(self, a: int, b: int) -> int:
+        """Assert two e-classes denote the same value."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._types[ra] != self._types[rb]:
+            raise StensoError(
+                f"type-unsafe merge: {self._types[ra]} vs {self._types[rb]}"
+            )
+        root = self._uf.union(ra, rb)
+        other = rb if root == ra else ra
+        self._classes[root] |= self._classes.pop(other)
+        self._parents[root].extend(self._parents.pop(other))
+        del self._types[other]
+        self._pending.append(root)
+        return root
+
+    def rebuild(self) -> None:
+        """Restore hash-consing and congruence after merges (egg-style)."""
+        while self._pending:
+            todo, self._pending = self._pending, []
+            for cid in {self.find(c) for c in todo}:
+                self._repair(cid)
+
+    def _repair(self, cid: int) -> None:
+        # Re-canonicalize parents; congruent parents collapse.
+        parents = self._parents.get(cid, [])
+        seen: dict[ENode, int] = {}
+        new_parents: list[tuple[ENode, int]] = []
+        for enode, owner in parents:
+            canon = enode.canonicalize(self._uf)
+            self._memo.pop(enode, None)
+            owner = self.find(owner)
+            if canon in seen:
+                owner = self.merge(seen[canon], owner)
+            else:
+                seen[canon] = owner
+            self._memo[canon] = owner
+            new_parents.append((canon, owner))
+        self._parents[self.find(cid)] = new_parents
+        # Canonicalize the class's own nodes.
+        root = self.find(cid)
+        self._classes[root] = {n.canonicalize(self._uf) for n in self._classes[root]}
+
+    # -- misc ---------------------------------------------------------------------
+
+    def contains_term(self, node: Node, root: int | None = None) -> bool:
+        """Is the given IR tree represented (optionally inside class root)?"""
+        try:
+            cid = self._lookup_term(node)
+        except KeyError:
+            return False
+        return root is None or self.find(cid) == self.find(root)
+
+    def _lookup_term(self, node: Node) -> int:
+        if isinstance(node, (Input, Const)):
+            label = f"input:{node.name}" if isinstance(node, Input) else f"const:{hash(node)}"
+            enode = ENode(label, (), leaf=node)
+        else:
+            assert isinstance(node, Call)
+            children = tuple(self._lookup_term(a) for a in node.args)
+            enode = ENode(node.op, tuple(self.find(c) for c in children), node.attrs)
+        cid = self._memo.get(enode.canonicalize(self._uf))
+        if cid is None:
+            raise KeyError(node)
+        return self.find(cid)

@@ -1,0 +1,80 @@
+"""Cost-based extraction of the best program from a saturated e-graph.
+
+Bottom-up dynamic programming: iterate to a fixed point computing, per
+e-class, the cheapest (cost, e-node) whose children are all themselves
+extractable, then reconstruct the IR tree.  Costs come from the same
+:class:`~repro.cost.base.CostModel` hierarchy that guides STENSO's search,
+so "STENSO-optimal" and "extraction-optimal" are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.base import CostModel
+from repro.egraph.egraph import EGraph, ENode
+from repro.errors import StensoError
+from repro.ir.nodes import Call, Node
+
+
+@dataclass(frozen=True)
+class Extraction:
+    """Best program for one e-class."""
+
+    node: Node
+    cost: float
+
+
+def extract_best(egraph: EGraph, root: int, cost_model: CostModel) -> Extraction:
+    """Cheapest concrete program represented by ``root``'s e-class."""
+    root = egraph.find(root)
+    best: dict[int, tuple[float, ENode]] = {}
+
+    changed = True
+    while changed:
+        changed = False
+        for cid, enodes in egraph.classes():
+            for enode in enodes:
+                cost = _enode_cost(egraph, enode, cid, best, cost_model)
+                if cost is None:
+                    continue
+                current = best.get(cid)
+                if current is None or cost < current[0]:
+                    best[cid] = (cost, enode)
+                    changed = True
+
+    if root not in best:
+        raise StensoError("e-class has no extractable program")
+
+    def build(cid: int) -> Node:
+        _, enode = best[egraph.find(cid)]
+        if enode.leaf is not None:
+            return enode.leaf
+        args = tuple(build(c) for c in enode.children)
+        return Call(enode.op, args, **dict(enode.attrs))
+
+    return Extraction(node=build(root), cost=best[root][0])
+
+
+def _enode_cost(
+    egraph: EGraph,
+    enode: ENode,
+    cid: int,
+    best: dict[int, tuple[float, ENode]],
+    cost_model: CostModel,
+) -> float | None:
+    if enode.leaf is not None:
+        return 0.0
+    child_costs = []
+    for child in enode.children:
+        entry = best.get(egraph.find(child))
+        if entry is None:
+            return None  # child not yet extractable this pass
+        child_costs.append(entry[0])
+    own = cost_model.op_cost(
+        enode.op,
+        [cost_model.mapper.type(egraph.type_of(c)) for c in enode.children],
+        cost_model.mapper.type(egraph.type_of(cid)),
+        cost_model.mapper.attrs(dict(enode.attrs)),
+    )
+    return own + sum(child_costs)

@@ -1,0 +1,41 @@
+"""Union-find with path compression, the backbone of the e-graph."""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Disjoint sets over dense integer ids."""
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+
+    def make_set(self) -> int:
+        id_ = len(self._parent)
+        self._parent.append(id_)
+        return id_
+
+    def find(self, id_: int) -> int:
+        root = id_
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[id_] != root:
+            self._parent[id_], id_ = root, self._parent[id_]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        # Keep the smaller id as canonical: stable and deterministic.
+        if rb < ra:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        return ra
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def same(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the STENSO reproduction.
+
+All library errors derive from :class:`StensoError` so that callers can catch
+everything the library raises with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class StensoError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeInferenceError(StensoError):
+    """An IR node could not be typed (shape mismatch, bad dtype, bad attrs)."""
+
+
+class ParseError(StensoError):
+    """The input Python source could not be translated into the tensor IR."""
+
+
+class UnsupportedOpError(ParseError):
+    """The input program uses an operation outside the supported IR op set."""
+
+
+class SymbolicExecutionError(StensoError):
+    """Symbolic execution of an IR program failed."""
+
+
+class SolverError(StensoError):
+    """The symbolic algebra solver failed on a well-formed query."""
+
+
+class SynthesisTimeout(StensoError):
+    """The synthesis search exceeded its wall-clock budget."""
+
+
+class VerificationError(StensoError):
+    """A synthesized candidate failed semantic verification."""
+
+
+class CostModelError(StensoError):
+    """A cost could not be estimated for a program or sketch."""
+
+
+class BenchmarkError(StensoError):
+    """A benchmark definition is malformed or failed to execute."""

@@ -1,0 +1,56 @@
+"""Tensor DSL intermediate representation.
+
+The IR is a typed expression tree over NumPy-level tensor operations.  See
+:mod:`repro.ir.ops` for the operation registry, :mod:`repro.ir.parser` for
+translation from Python source, and :mod:`repro.ir.printer` for translation
+back to executable NumPy code.
+"""
+
+from repro.ir.nodes import Call, Const, Input, Node, rename_inputs, substitute
+from repro.ir.ops import OpSpec, all_ops, get_op, grammar_ops, has_op
+from repro.ir.parser import Program, parse, parse_expression, parse_function
+from repro.ir.printer import to_callable, to_expression, to_source
+from repro.ir.evaluator import evaluate, random_inputs
+from repro.ir.types import (
+    BOOL_SCALAR,
+    FLOAT_SCALAR,
+    DType,
+    TensorType,
+    bool_tensor,
+    broadcast_shapes,
+    float_tensor,
+    reduce_shape,
+    shrink_shape,
+)
+
+__all__ = [
+    "BOOL_SCALAR",
+    "FLOAT_SCALAR",
+    "Call",
+    "Const",
+    "DType",
+    "Input",
+    "Node",
+    "OpSpec",
+    "Program",
+    "TensorType",
+    "all_ops",
+    "bool_tensor",
+    "broadcast_shapes",
+    "evaluate",
+    "float_tensor",
+    "get_op",
+    "grammar_ops",
+    "has_op",
+    "parse",
+    "parse_expression",
+    "parse_function",
+    "random_inputs",
+    "reduce_shape",
+    "rename_inputs",
+    "shrink_shape",
+    "substitute",
+    "to_callable",
+    "to_expression",
+    "to_source",
+]

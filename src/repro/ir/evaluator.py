@@ -1,0 +1,67 @@
+"""Direct interpreter: evaluate IR trees on concrete NumPy arrays.
+
+Used for numeric verification of synthesized candidates and as the reference
+semantics in tests.  The eager NumPy *timing* backend executes generated
+source instead (see :mod:`repro.backends.numpy_backend`) so that Python-loop
+benchmarks keep their original interpretation overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import StensoError
+from repro.ir.nodes import Call, Const, Input, Node
+from repro.ir.ops import get_op
+
+
+def evaluate(node: Node, env: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Evaluate ``node`` with inputs bound by name in ``env``.
+
+    Common subexpressions are evaluated once per distinct subtree.
+    """
+    cache: dict[Node, np.ndarray] = {}
+
+    def go(n: Node) -> np.ndarray:
+        hit = cache.get(n)
+        if hit is not None:
+            return hit
+        if isinstance(n, Input):
+            try:
+                value = np.asarray(env[n.name])
+            except KeyError:
+                raise StensoError(f"missing input {n.name!r}") from None
+        elif isinstance(n, Const):
+            value = n.value
+        else:
+            assert isinstance(n, Call)
+            args = [go(a) for a in n.args]
+            value = get_op(n.op).eval(args, dict(n.attrs))
+        cache[n] = value
+        return value
+
+    return go(node)
+
+
+def random_inputs(
+    types: Mapping[str, "TensorType"], rng: np.random.Generator | None = None,
+    low: float = 0.5, high: float = 2.0,
+) -> dict[str, np.ndarray]:
+    """Generate random inputs for the given types.
+
+    Values are drawn from ``[low, high)`` — strictly positive by default so
+    that ``sqrt``/``log``/``divide`` are well-defined on any subexpression.
+    Boolean tensors are random coin flips.
+    """
+    from repro.ir.types import DType
+
+    rng = rng or np.random.default_rng(0)
+    out: dict[str, np.ndarray] = {}
+    for name, t in types.items():
+        if t.dtype is DType.BOOL:
+            out[name] = rng.random(t.shape) < 0.5
+        else:
+            out[name] = rng.uniform(low, high, size=t.shape)
+    return out

@@ -1,0 +1,91 @@
+"""Pretty-printer: IR expression trees back to executable NumPy source."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ir.nodes import Call, Const, Input, Node
+from repro.ir.ops import get_op
+
+# Ops rendered as infix Python operators for readability.
+_INFIX = {
+    "add": "+",
+    "subtract": "-",
+    "multiply": "*",
+    "divide": "/",
+}
+
+
+def _format_const(const: Const) -> str:
+    if const.is_scalar:
+        value = const.value.item()
+        if isinstance(value, bool) or const.value.dtype == np.bool_:
+            return str(bool(value))
+        if float(value).is_integer():
+            return str(int(value))
+        return repr(float(value))
+    return f"np.array({const.value.tolist()!r})"
+
+
+def _format_attrs(node: Call) -> str:
+    spec = get_op(node.op)
+    parts = []
+    for name in spec.attr_names:
+        value = node.attr(name)
+        if value is None:
+            continue
+        if name == "shape" or name == "axes" or isinstance(value, tuple):
+            parts.append(f"{name}={tuple(value) if isinstance(value, tuple) else value!r}")
+        else:
+            parts.append(f"{name}={value!r}")
+    return (", " + ", ".join(parts)) if parts else ""
+
+
+def to_expression(node: Node) -> str:
+    """Render a node as a single Python/NumPy expression string."""
+    if isinstance(node, Input):
+        return node.name
+    if isinstance(node, Const):
+        return _format_const(node)
+    assert isinstance(node, Call)
+    if node.op in _INFIX:
+        left = to_expression(node.args[0])
+        right = to_expression(node.args[1])
+        return f"({left} {_INFIX[node.op]} {right})"
+    if node.op == "index":
+        return f"{to_expression(node.args[0])}[{node.attr('i')}]"
+    spec = get_op(node.op)
+    args = ", ".join(to_expression(a) for a in node.args)
+    if node.op == "reshape":
+        return f"np.reshape({args}, {tuple(node.attr('shape'))})"
+    if node.op == "full":
+        return f"np.full({tuple(node.attr('shape'))}, {args})"
+    if node.op == "stack":
+        inner = ", ".join(to_expression(a) for a in node.args)
+        axis = node.attr("axis", 0)
+        return f"np.stack([{inner}], axis={axis})"
+    return f"{spec.numpy_name}({args}{_format_attrs(node)})"
+
+
+def to_source(node: Node, name: str = "fn", input_names: Sequence[str] | None = None) -> str:
+    """Render a node as a complete function definition.
+
+    ``input_names`` fixes the parameter order; by default the inputs appear in
+    first-use order.
+    """
+    if input_names is None:
+        input_names = [inp.name for inp in node.inputs()]
+    params = ", ".join(input_names)
+    return f"def {name}({params}):\n    return {to_expression(node)}\n"
+
+
+def to_callable(node: Node, input_names: Sequence[str] | None = None):
+    """Compile a node into a Python callable over NumPy arrays."""
+    if input_names is None:
+        input_names = [inp.name for inp in node.inputs()]
+    source = to_source(node, name="_synthesized", input_names=input_names)
+    namespace: dict = {"np": np}
+    exec(source, namespace)  # noqa: S102 - code we generated ourselves
+    return namespace["_synthesized"]

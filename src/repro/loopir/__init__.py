@@ -1,0 +1,49 @@
+"""Loop-level IR: the paper's scalar lowering substrate (Sections IV-A, VI-D).
+
+``lower_program`` turns a tensor IR tree into explicit scalar loop nests;
+``run_numeric`` interprets them on concrete inputs and ``run_symbolic`` on
+SymPy symbols — the literal reading of the paper's symbolic-execution
+pipeline.  The tensor-level engine in :mod:`repro.symexec` is the fast
+equivalent used in production; their agreement is tested.
+"""
+
+from repro.loopir.ast import (
+    Accumulate,
+    Alloc,
+    BinOp,
+    IdxConst,
+    IdxVar,
+    IndexValue,
+    Literal,
+    Loop,
+    LoopFunction,
+    Read,
+    Select,
+    Store,
+    UnaryFn,
+    eval_index,
+)
+from repro.loopir.interp import run_numeric, run_symbolic
+from repro.loopir.lower import lower_program
+from repro.loopir.printer import to_text
+
+__all__ = [
+    "Accumulate",
+    "Alloc",
+    "BinOp",
+    "IdxConst",
+    "IdxVar",
+    "IndexValue",
+    "Literal",
+    "Loop",
+    "LoopFunction",
+    "Read",
+    "Select",
+    "Store",
+    "UnaryFn",
+    "eval_index",
+    "lower_program",
+    "run_numeric",
+    "run_symbolic",
+    "to_text",
+]

@@ -1,0 +1,291 @@
+"""Loop-level IR: explicit scalar loop nests over buffers.
+
+The paper's implementation lowers NumPy programs through JAX/MLIR-HLO into a
+scalar-level MLIR representation and symbolically executes *that* (Section
+IV-A / VI-D).  This package is the offline substitute: a small affine-loop
+IR, a lowering from the tensor IR, and interpreters over both concrete NumPy
+scalars and SymPy symbols.  The high-level symbolic engine
+(:mod:`repro.symexec.engine`) and the loop-level route are proven equivalent
+in the test suite — which is exactly why the direct engine is safe to use as
+the default (it is much faster in pure Python).
+
+Index expressions are affine-with-div/mod over loop variables — enough for
+every op in the DSL, including ``reshape`` (de/linearization) and ``diag``
+(repeated variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+# ---------------------------------------------------------------------------
+# Index expressions (affine + floordiv/mod)
+# ---------------------------------------------------------------------------
+
+
+class IndexExpr:
+    """Base class of index expressions."""
+
+    def __add__(self, other: "IndexExpr | int") -> "IndexExpr":
+        return IdxAdd(self, _as_index(other))
+
+    def __mul__(self, factor: int) -> "IndexExpr":
+        return IdxMul(self, factor)
+
+    def __floordiv__(self, divisor: int) -> "IndexExpr":
+        return IdxFloorDiv(self, divisor)
+
+    def __mod__(self, divisor: int) -> "IndexExpr":
+        return IdxMod(self, divisor)
+
+
+@dataclass(frozen=True)
+class IdxVar(IndexExpr):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IdxConst(IndexExpr):
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class IdxAdd(IndexExpr):
+    left: IndexExpr
+    right: IndexExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class IdxMul(IndexExpr):
+    base: IndexExpr
+    factor: int
+
+    def __repr__(self) -> str:
+        return f"{self.base}*{self.factor}"
+
+
+@dataclass(frozen=True)
+class IdxFloorDiv(IndexExpr):
+    base: IndexExpr
+    divisor: int
+
+    def __repr__(self) -> str:
+        return f"({self.base} // {self.divisor})"
+
+
+@dataclass(frozen=True)
+class IdxMod(IndexExpr):
+    base: IndexExpr
+    divisor: int
+
+    def __repr__(self) -> str:
+        return f"({self.base} % {self.divisor})"
+
+
+def _as_index(value: "IndexExpr | int") -> IndexExpr:
+    return IdxConst(value) if isinstance(value, int) else value
+
+
+def eval_index(expr: IndexExpr, env: dict[str, int]) -> int:
+    """Evaluate an index expression under loop-variable bindings."""
+    if isinstance(expr, IdxVar):
+        return env[expr.name]
+    if isinstance(expr, IdxConst):
+        return expr.value
+    if isinstance(expr, IdxAdd):
+        return eval_index(expr.left, env) + eval_index(expr.right, env)
+    if isinstance(expr, IdxMul):
+        return eval_index(expr.base, env) * expr.factor
+    if isinstance(expr, IdxFloorDiv):
+        return eval_index(expr.base, env) // expr.divisor
+    if isinstance(expr, IdxMod):
+        return eval_index(expr.base, env) % expr.divisor
+    raise TypeError(f"not an index expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Scalar expressions
+# ---------------------------------------------------------------------------
+
+
+class ScalarExpr:
+    """Base class of scalar (per-element) expressions."""
+
+
+@dataclass(frozen=True)
+class Read(ScalarExpr):
+    """Read one element of a buffer."""
+
+    buffer: str
+    index: tuple[IndexExpr, ...]
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(i) for i in self.index)
+        return f"{self.buffer}[{idx}]"
+
+
+@dataclass(frozen=True)
+class Literal(ScalarExpr):
+    value: float | bool
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(ScalarExpr):
+    """Binary scalar op: + - * / ** < max min."""
+
+    op: str
+    left: ScalarExpr
+    right: ScalarExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryFn(ScalarExpr):
+    """Unary scalar function: sqrt exp log neg abs."""
+
+    fn: str
+    operand: ScalarExpr
+
+    def __repr__(self) -> str:
+        return f"{self.fn}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Select(ScalarExpr):
+    """Ternary select: cond ? if_true : if_false."""
+
+    cond: ScalarExpr
+    if_true: ScalarExpr
+    if_false: ScalarExpr
+
+    def __repr__(self) -> str:
+        return f"({self.cond} ? {self.if_true} : {self.if_false})"
+
+
+@dataclass(frozen=True)
+class IndexValue(ScalarExpr):
+    """An index expression used as a scalar (for triu/tril masks)."""
+
+    index: IndexExpr
+
+    def __repr__(self) -> str:
+        return repr(self.index)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass(frozen=True)
+class Alloc(Stmt):
+    """Allocate a buffer of the given shape (float unless ``boolean``)."""
+
+    buffer: str
+    shape: tuple[int, ...]
+    boolean: bool = False
+
+    def __repr__(self) -> str:
+        kind = "bool" if self.boolean else "f64"
+        return f"{self.buffer} = alloc {kind}{list(self.shape)}"
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """Write a scalar value to one buffer element."""
+
+    buffer: str
+    index: tuple[IndexExpr, ...]
+    value: ScalarExpr
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(i) for i in self.index)
+        return f"{self.buffer}[{idx}] = {self.value}"
+
+
+@dataclass(frozen=True)
+class Accumulate(Stmt):
+    """Reduce a scalar value into a buffer element: += , max=, min=."""
+
+    buffer: str
+    index: tuple[IndexExpr, ...]
+    value: ScalarExpr
+    op: str = "+"  # '+', 'max', 'min'
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(i) for i in self.index)
+        sym = {"+": "+=", "max": "max=", "min": "min="}[self.op]
+        return f"{self.buffer}[{idx}] {sym} {self.value}"
+
+
+@dataclass(frozen=True)
+class Loop(Stmt):
+    """``for var in range(extent): body``"""
+
+    var: str
+    extent: int
+    body: tuple[Stmt, ...]
+
+    def __repr__(self) -> str:
+        return f"for {self.var} in range({self.extent}): ..."
+
+
+@dataclass(frozen=True)
+class LoopFunction:
+    """A lowered program: parameters, statements, and the result buffer.
+
+    ``constants`` binds buffers for tensor-valued constants of the source
+    program (they are data, not code — enumerating per-element stores would
+    bloat the IR at real shapes).
+    """
+
+    name: str
+    params: tuple[str, ...]
+    param_shapes: dict[str, tuple[int, ...]]
+    body: tuple[Stmt, ...]
+    result: str
+    result_shape: tuple[int, ...]
+    constants: dict = field(default_factory=dict)
+
+    def walk(self) -> Iterator[Stmt]:
+        def go(stmts) -> Iterator[Stmt]:
+            for stmt in stmts:
+                yield stmt
+                if isinstance(stmt, Loop):
+                    yield from go(stmt.body)
+
+        yield from go(self.body)
+
+    @property
+    def num_statements(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    @property
+    def loop_depth(self) -> int:
+        def depth(stmts) -> int:
+            best = 0
+            for stmt in stmts:
+                if isinstance(stmt, Loop):
+                    best = max(best, 1 + depth(stmt.body))
+            return best
+
+        return depth(self.body)

@@ -1,0 +1,234 @@
+"""Interpreters for the loop-level IR: concrete scalars and SymPy symbols.
+
+The same statement walker runs over two value domains:
+
+* :class:`NumericDomain` — Python/NumPy scalars; the reference semantics the
+  lowering is tested against;
+* :class:`SymbolicDomain` — SymPy expressions; executing a lowered program in
+  this domain is the paper's Section IV-A verbatim: "we lower the NumPy
+  program into a loop-level representation and execute it on SymPy symbols".
+
+Loops have static extents, so interpretation is complete unrolling — which
+is also why the production path uses the equivalent (and much faster) direct
+tensor-level engine in :mod:`repro.symexec.engine`; their agreement is a
+test-suite invariant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+import sympy as sp
+
+from repro.errors import StensoError
+from repro.loopir.ast import (
+    Accumulate,
+    Alloc,
+    BinOp,
+    IndexValue,
+    Literal,
+    Loop,
+    LoopFunction,
+    Read,
+    ScalarExpr,
+    Select,
+    Stmt,
+    Store,
+    UnaryFn,
+    eval_index,
+)
+
+
+class NumericDomain:
+    """Concrete float/bool scalar semantics."""
+
+    dtype = object  # buffers hold python floats/bools
+
+    def literal(self, value):
+        return value
+
+    def binop(self, op: str, left, right):
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "**":
+            return left ** right
+        if op == "<":
+            return left < right
+        if op == "==":
+            return left == right
+        if op == "max":
+            return max(left, right)
+        if op == "min":
+            return min(left, right)
+        raise StensoError(f"unknown scalar op {op!r}")
+
+    def unary(self, fn: str, value):
+        if fn == "sqrt":
+            return math.sqrt(value)
+        if fn == "exp":
+            return math.exp(value)
+        if fn == "log":
+            return math.log(value)
+        if fn == "neg":
+            return -value
+        if fn == "abs":
+            return abs(value)
+        raise StensoError(f"unknown scalar fn {fn!r}")
+
+    def select(self, cond, if_true, if_false):
+        return if_true if cond else if_false
+
+
+class SymbolicDomain:
+    """SymPy expression semantics (Section IV-A's loop-level execution)."""
+
+    dtype = object
+
+    def literal(self, value):
+        if isinstance(value, bool):
+            return sp.true if value else sp.false
+        return sp.nsimplify(value, rational=True)
+
+    def binop(self, op: str, left, right):
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "**":
+            return left ** right
+        if op == "<":
+            if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+                return sp.true if left < right else sp.false
+            return sp.Lt(left, right)
+        if op == "==":
+            if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+                return sp.true if left == right else sp.false
+            return sp.Eq(left, right)
+        if op == "max":
+            return sp.Max(left, right)
+        if op == "min":
+            return sp.Min(left, right)
+        raise StensoError(f"unknown scalar op {op!r}")
+
+    def unary(self, fn: str, value):
+        if fn == "sqrt":
+            return sp.sqrt(value)
+        if fn == "exp":
+            return sp.exp(value)
+        if fn == "log":
+            return sp.log(value)
+        if fn == "neg":
+            return -value
+        if fn == "abs":
+            return sp.Abs(value)
+        raise StensoError(f"unknown scalar fn {fn!r}")
+
+    def select(self, cond, if_true, if_false):
+        if cond is sp.true or cond is True:
+            return if_true
+        if cond is sp.false or cond is False:
+            return if_false
+        return sp.Piecewise((if_true, cond), (if_false, True))
+
+
+def _eval_scalar(expr: ScalarExpr, buffers, loop_env, domain):
+    if isinstance(expr, Read):
+        index = tuple(eval_index(i, loop_env) for i in expr.index)
+        return buffers[expr.buffer][index]
+    if isinstance(expr, Literal):
+        return domain.literal(expr.value)
+    if isinstance(expr, BinOp):
+        return domain.binop(
+            expr.op,
+            _eval_scalar(expr.left, buffers, loop_env, domain),
+            _eval_scalar(expr.right, buffers, loop_env, domain),
+        )
+    if isinstance(expr, UnaryFn):
+        return domain.unary(expr.fn, _eval_scalar(expr.operand, buffers, loop_env, domain))
+    if isinstance(expr, Select):
+        return domain.select(
+            _eval_scalar(expr.cond, buffers, loop_env, domain),
+            _eval_scalar(expr.if_true, buffers, loop_env, domain),
+            _eval_scalar(expr.if_false, buffers, loop_env, domain),
+        )
+    if isinstance(expr, IndexValue):
+        return eval_index(expr.index, loop_env)
+    raise StensoError(f"unknown scalar expression {expr!r}")
+
+
+def _run(stmts, buffers, loop_env, domain) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, Alloc):
+            buffers[stmt.buffer] = np.empty(stmt.shape, dtype=object)
+        elif isinstance(stmt, Store):
+            index = tuple(eval_index(i, loop_env) for i in stmt.index)
+            buffers[stmt.buffer][index] = _eval_scalar(stmt.value, buffers, loop_env, domain)
+        elif isinstance(stmt, Accumulate):
+            index = tuple(eval_index(i, loop_env) for i in stmt.index)
+            current = buffers[stmt.buffer][index]
+            value = _eval_scalar(stmt.value, buffers, loop_env, domain)
+            buffers[stmt.buffer][index] = domain.binop(stmt.op, current, value)
+        elif isinstance(stmt, Loop):
+            for k in range(stmt.extent):
+                loop_env[stmt.var] = k
+                _run(stmt.body, buffers, loop_env, domain)
+            loop_env.pop(stmt.var, None)
+        else:
+            raise StensoError(f"unknown statement {stmt!r}")
+
+
+def run_numeric(function: LoopFunction, env: dict[str, np.ndarray]) -> np.ndarray:
+    """Execute the lowered program on concrete inputs."""
+    buffers: dict[str, np.ndarray] = {}
+    for param in function.params:
+        buffers[param] = np.asarray(env[param], dtype=object)
+    for name, value in function.constants.items():
+        buffers[name] = np.asarray(value, dtype=object)
+    _run(function.body, buffers, {}, NumericDomain())
+    return np.asarray(buffers[function.result].astype(float))
+
+
+def run_symbolic(function: LoopFunction, bindings=None):
+    """Execute the lowered program on SymPy-symbol inputs.
+
+    Returns a :class:`repro.symexec.symtensor.SymTensor` so the result is
+    directly comparable with the tensor-level engine's output.
+    """
+    from repro.ir.types import DType, TensorType
+    from repro.symexec.symtensor import SymTensor
+
+    buffers: dict[str, np.ndarray] = {}
+    bindings = bindings or {}
+    for param in function.params:
+        if param in bindings:
+            buffers[param] = np.asarray(bindings[param].data, dtype=object)
+        else:
+            tensor = SymTensor.from_input(
+                param, TensorType(DType.FLOAT, function.param_shapes[param])
+            )
+            buffers[param] = np.asarray(tensor.data, dtype=object)
+    for name, value in function.constants.items():
+        arr = np.asarray(value)
+        out = np.empty(arr.shape, dtype=object)
+        flat_out = out.reshape(-1)
+        domain = SymbolicDomain()
+        for k, v in enumerate(arr.reshape(-1)):
+            flat_out[k] = domain.literal(
+                bool(v) if arr.dtype == np.bool_ else float(v)
+            )
+        buffers[name] = out
+    _run(function.body, buffers, {}, SymbolicDomain())
+    result = np.asarray(buffers[function.result], dtype=object)
+    return SymTensor(result, DType.FLOAT)

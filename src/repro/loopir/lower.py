@@ -1,0 +1,379 @@
+"""Lowering: tensor IR expression trees to scalar loop nests.
+
+Every registered op gets an explicit loop-nest implementation — elementwise
+ops with broadcasting, reductions via init+accumulate, contractions as
+nested multiply-add loops, structural ops as index gymnastics (permutation,
+de/linearization, diagonal index repetition).  The result is a
+:class:`LoopFunction`: the same scalar-level program the paper obtains by
+lowering through MLIR-HLO.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StensoError
+from repro.ir.nodes import Call, Const, Input, Node
+from repro.ir.types import DType
+from repro.loopir.ast import (
+    Accumulate,
+    Alloc,
+    BinOp,
+    IdxConst,
+    IdxVar,
+    IndexExpr,
+    IndexValue,
+    Literal,
+    Loop,
+    LoopFunction,
+    Read,
+    ScalarExpr,
+    Select,
+    Stmt,
+    Store,
+    UnaryFn,
+)
+
+_ELEMENTWISE_BINARY = {
+    "add": "+",
+    "subtract": "-",
+    "multiply": "*",
+    "divide": "/",
+    "power": "**",
+    "maximum": "max",
+    "minimum": "min",
+    "less": "<",
+}
+
+_ELEMENTWISE_UNARY = {
+    "sqrt": "sqrt",
+    "exp": "exp",
+    "log": "log",
+    "negative": "neg",
+    "abs": "abs",
+}
+
+
+class _Lowerer:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stmts: list[Stmt] = []
+        self.constants: dict[str, np.ndarray] = {}
+        self._buffers = 0
+        self._vars = 0
+        self._memo: dict[Node, str] = {}
+
+    # -- naming ---------------------------------------------------------------
+
+    def buffer(self) -> str:
+        self._buffers += 1
+        return f"t{self._buffers - 1}"
+
+    def var(self) -> IdxVar:
+        self._vars += 1
+        return IdxVar(f"i{self._vars - 1}")
+
+    # -- loop scaffolding --------------------------------------------------------
+
+    def nest(self, shape: tuple[int, ...], build) -> None:
+        """Emit nested loops over ``shape``; ``build(vars) -> list[Stmt]``."""
+        vars_ = tuple(self.var() for _ in shape)
+        body: tuple[Stmt, ...] = tuple(build(vars_))
+        for var, extent in reversed(list(zip(vars_, shape))):
+            body = (Loop(var.name, extent, body),)
+        self.stmts.extend(body)
+
+    @staticmethod
+    def broadcast_read(buffer: str, arg_shape: tuple[int, ...], out_vars) -> Read:
+        """Read ``buffer`` (of ``arg_shape``) at the broadcast position."""
+        offset = len(out_vars) - len(arg_shape)
+        index = tuple(
+            IdxConst(0) if arg_shape[k] == 1 else out_vars[k + offset]
+            for k in range(len(arg_shape))
+        )
+        return Read(buffer, index)
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def lower(self, node: Node) -> str:
+        hit = self._memo.get(node)
+        if hit is not None:
+            return hit
+        if isinstance(node, Input):
+            name = node.name
+        elif isinstance(node, Const):
+            name = self._lower_const(node)
+        else:
+            assert isinstance(node, Call)
+            name = self._lower_call(node)
+        self._memo[node] = name
+        return name
+
+    def _lower_const(self, node: Const) -> str:
+        # Tensor constants become implicitly-bound buffers; scalar constants
+        # are also materialized as rank-0 buffers for uniform Read access.
+        name = self.buffer()
+        self.constants[name] = np.asarray(node.value)
+        return name
+
+    def _lower_call(self, node: Call) -> str:
+        args = [self.lower(a) for a in node.args]
+        shapes = [a.type.shape for a in node.args]
+        out = self.buffer()
+        out_shape = node.type.shape
+        self.stmts.append(Alloc(out, out_shape, boolean=node.type.dtype is DType.BOOL))
+        handler = getattr(self, f"_op_{node.op}", None)
+        if handler is None:
+            if node.op in _ELEMENTWISE_BINARY:
+                self._elementwise_binary(node.op, args, shapes, out, out_shape)
+            elif node.op in _ELEMENTWISE_UNARY:
+                self._elementwise_unary(node.op, args, shapes, out, out_shape)
+            else:
+                raise StensoError(f"no loop-level lowering for op {node.op!r}")
+        else:
+            handler(node, args, shapes, out, out_shape)
+        return out
+
+    # -- elementwise -----------------------------------------------------------------
+
+    def _elementwise_binary(self, op, args, shapes, out, out_shape) -> None:
+        sym = _ELEMENTWISE_BINARY[op]
+        self.nest(
+            out_shape,
+            lambda vars_: [
+                Store(
+                    out,
+                    vars_,
+                    BinOp(
+                        sym,
+                        self.broadcast_read(args[0], shapes[0], vars_),
+                        self.broadcast_read(args[1], shapes[1], vars_),
+                    ),
+                )
+            ],
+        )
+
+    def _elementwise_unary(self, op, args, shapes, out, out_shape) -> None:
+        fn = _ELEMENTWISE_UNARY[op]
+        self.nest(
+            out_shape,
+            lambda vars_: [
+                Store(out, vars_, UnaryFn(fn, self.broadcast_read(args[0], shapes[0], vars_)))
+            ],
+        )
+
+    def _op_where(self, node, args, shapes, out, out_shape) -> None:
+        self.nest(
+            out_shape,
+            lambda vars_: [
+                Store(
+                    out,
+                    vars_,
+                    Select(
+                        self.broadcast_read(args[0], shapes[0], vars_),
+                        self.broadcast_read(args[1], shapes[1], vars_),
+                        self.broadcast_read(args[2], shapes[2], vars_),
+                    ),
+                )
+            ],
+        )
+
+    # -- structural -------------------------------------------------------------------
+
+    def _op_full(self, node, args, shapes, out, out_shape) -> None:
+        self.nest(out_shape, lambda vars_: [Store(out, vars_, Read(args[0], ()))])
+
+    def _op_transpose(self, node, args, shapes, out, out_shape) -> None:
+        rank = len(shapes[0])
+        axes = node.attr("axes")
+        perm = tuple(ax % rank for ax in axes) if axes else tuple(reversed(range(rank)))
+
+        def body(vars_):
+            in_index: list[IndexExpr] = [IdxConst(0)] * rank
+            for out_axis, in_axis in enumerate(perm):
+                in_index[in_axis] = vars_[out_axis]
+            return [Store(out, vars_, Read(args[0], tuple(in_index)))]
+
+        self.nest(out_shape, body)
+
+    def _op_reshape(self, node, args, shapes, out, out_shape) -> None:
+        in_shape = shapes[0]
+
+        def body(vars_):
+            # Linearize the output index, then delinearize into the input.
+            linear: IndexExpr = IdxConst(0)
+            for k, var in enumerate(vars_):
+                stride = math.prod(out_shape[k + 1:]) if k + 1 < len(out_shape) else 1
+                linear = linear + (var * stride)
+            in_index = []
+            for k in range(len(in_shape)):
+                stride = math.prod(in_shape[k + 1:]) if k + 1 < len(in_shape) else 1
+                in_index.append((linear // stride) % in_shape[k] if in_shape[k] else IdxConst(0))
+            return [Store(out, vars_, Read(args[0], tuple(in_index)))]
+
+        self.nest(out_shape, body)
+
+    def _op_diag(self, node, args, shapes, out, out_shape) -> None:
+        if len(shapes[0]) == 2:  # matrix -> diagonal vector
+            self.nest(
+                out_shape,
+                lambda vars_: [Store(out, vars_, Read(args[0], (vars_[0], vars_[0])))],
+            )
+        else:  # vector -> diagonal matrix
+            def body(vars_):
+                i, j = vars_
+                on_diag = BinOp("==", IndexValue(i), IndexValue(j))
+                return [Store(out, vars_, Select(on_diag, Read(args[0], (i,)), Literal(0.0)))]
+
+            self.nest(out_shape, body)
+
+    def _op_triu(self, node, args, shapes, out, out_shape) -> None:
+        self._tri(node, args, out, out_shape, keep_upper=True)
+
+    def _op_tril(self, node, args, shapes, out, out_shape) -> None:
+        self._tri(node, args, out, out_shape, keep_upper=False)
+
+    def _tri(self, node, args, out, out_shape, keep_upper: bool) -> None:
+        def body(vars_):
+            i, j = vars_[-2], vars_[-1]
+            below = BinOp("<", IndexValue(j), IndexValue(i))  # i > j
+            kept = Read(args[0], vars_)
+            zero = Literal(0.0)
+            value = Select(below, zero, kept) if keep_upper else Select(
+                below, kept, Select(BinOp("==", IndexValue(i), IndexValue(j)), kept, zero)
+            )
+            return [Store(out, vars_, value)]
+
+        self.nest(out_shape, body)
+
+    def _op_stack(self, node, args, shapes, out, out_shape) -> None:
+        axis = node.attr("axis", 0) % len(out_shape)
+        for m, (arg, arg_shape) in enumerate(zip(args, shapes)):
+            def body(vars_, m=m, arg=arg):
+                out_index = vars_[:axis] + (IdxConst(m),) + vars_[axis:]
+                return [Store(out, out_index, Read(arg, vars_))]
+
+            self.nest(arg_shape, body)
+
+    def _op_index(self, node, args, shapes, out, out_shape) -> None:
+        i = node.attr("i")
+        self.nest(
+            out_shape,
+            lambda vars_: [Store(out, vars_, Read(args[0], (IdxConst(i),) + vars_))],
+        )
+
+    # -- reductions -----------------------------------------------------------------
+
+    def _op_sum(self, node, args, shapes, out, out_shape) -> None:
+        self._reduction(node, args, shapes, out, out_shape, "+", init=Literal(0.0))
+
+    def _op_max(self, node, args, shapes, out, out_shape) -> None:
+        self._reduction(node, args, shapes, out, out_shape, "max")
+
+    def _op_min(self, node, args, shapes, out, out_shape) -> None:
+        self._reduction(node, args, shapes, out, out_shape, "min")
+
+    def _reduction(self, node, args, shapes, out, out_shape, op, init=None) -> None:
+        in_shape = shapes[0]
+        axis = node.attr("axis")
+        if axis is None:
+            reduced = set(range(len(in_shape)))
+        else:
+            reduced = {axis % len(in_shape)}
+
+        if init is not None:
+            self.nest(out_shape, lambda vars_: [Store(out, vars_, init)])
+        else:
+            # Initialize with the slice at reduced coordinates == 0.
+            def init_body(vars_):
+                in_index, it = [], iter(vars_)
+                for k in range(len(in_shape)):
+                    in_index.append(IdxConst(0) if k in reduced else next(it))
+                return [Store(out, vars_, Read(args[0], tuple(in_index)))]
+
+            self.nest(out_shape, init_body)
+
+        def body(vars_):
+            out_index = tuple(v for k, v in enumerate(vars_) if k not in reduced)
+            return [Accumulate(out, out_index, Read(args[0], vars_), op)]
+
+        self.nest(in_shape, body)
+
+    def _op_trace(self, node, args, shapes, out, out_shape) -> None:
+        n = min(shapes[0])
+        self.stmts.append(Store(out, (), Literal(0.0)))
+        self.nest((n,), lambda vars_: [
+            Accumulate(out, (), Read(args[0], (vars_[0], vars_[0])), "+")
+        ])
+
+    # -- contractions --------------------------------------------------------------------
+
+    def _op_dot(self, node, args, shapes, out, out_shape) -> None:
+        a_shape, b_shape = shapes
+        if not a_shape or not b_shape:  # scalar operand: elementwise multiply
+            self._elementwise_binary("multiply", args, shapes, out, out_shape)
+            return
+        k = a_shape[-1]
+        a_lead = len(a_shape) - 1
+        self.nest(out_shape, lambda vars_: [Store(out, vars_, Literal(0.0))])
+
+        def body(vars_):
+            out_vars, kv = vars_[:-1], vars_[-1]
+            a_index = out_vars[:a_lead] + (kv,)
+            if len(b_shape) == 1:
+                b_index: tuple = (kv,)
+            else:
+                b_rest = out_vars[a_lead:]
+                b_index = b_rest[:-1] + (kv,) + b_rest[-1:]
+            product = BinOp("*", Read(args[0], a_index), Read(args[1], b_index))
+            return [Accumulate(out, out_vars, product, "+")]
+
+        self.nest(out_shape + (k,), body)
+
+    def _op_tensordot(self, node, args, shapes, out, out_shape) -> None:
+        from repro.ir.ops import _tensordot_axes  # reuse the typing helper
+
+        a_axes, b_axes = _tensordot_axes(node.args[0].type, node.args[1].type, dict(node.attrs))
+        a_shape, b_shape = shapes
+        a_free = [k for k in range(len(a_shape)) if k not in a_axes]
+        b_free = [k for k in range(len(b_shape)) if k not in b_axes]
+        contracted = tuple(a_shape[ax] for ax in a_axes)
+
+        self.nest(out_shape, lambda vars_: [Store(out, vars_, Literal(0.0))])
+
+        def body(vars_):
+            out_vars = vars_[: len(out_shape)]
+            k_vars = vars_[len(out_shape):]
+            a_index: list[IndexExpr] = [IdxConst(0)] * len(a_shape)
+            for pos, ax in enumerate(a_free):
+                a_index[ax] = out_vars[pos]
+            for pos, ax in enumerate(a_axes):
+                a_index[ax] = k_vars[pos]
+            b_index: list[IndexExpr] = [IdxConst(0)] * len(b_shape)
+            for pos, ax in enumerate(b_free):
+                b_index[ax] = out_vars[len(a_free) + pos]
+            for pos, ax in enumerate(b_axes):
+                b_index[ax] = k_vars[pos]
+            product = BinOp("*", Read(args[0], tuple(a_index)), Read(args[1], tuple(b_index)))
+            return [Accumulate(out, out_vars, product, "+")]
+
+        self.nest(out_shape + contracted, body)
+
+
+def lower_program(node: Node, name: str = "lowered") -> LoopFunction:
+    """Lower a tensor IR tree into a scalar loop-nest function."""
+    lowerer = _Lowerer(name)
+    result = lowerer.lower(node)
+    params = tuple(i.name for i in node.inputs())
+    return LoopFunction(
+        name=name,
+        params=params,
+        param_shapes={i.name: i.type.shape for i in node.inputs()},
+        body=tuple(lowerer.stmts),
+        result=result,
+        result_shape=node.type.shape,
+        constants=dict(lowerer.constants),
+    )

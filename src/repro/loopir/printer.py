@@ -1,0 +1,45 @@
+"""Pretty-printer for the loop-level IR (a readable scalar-level dump).
+
+The paper's toolchain can dump scalar-level MLIR; this renders the same
+information for our loop IR::
+
+    def diag_dot(A, B):
+      t0 = alloc f64[2, 2]
+      for i0 in range(2):
+        for i1 in range(2):
+          t0[i0, i1] = 0.0
+      ...
+      return t0
+"""
+
+from __future__ import annotations
+
+from repro.loopir.ast import (
+    Accumulate,
+    Alloc,
+    Loop,
+    LoopFunction,
+    Stmt,
+    Store,
+)
+
+
+def _render(stmt: Stmt, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, Loop):
+        lines.append(f"{pad}for {stmt.var} in range({stmt.extent}):")
+        for inner in stmt.body:
+            _render(inner, indent + 1, lines)
+    else:
+        lines.append(f"{pad}{stmt!r}")
+
+
+def to_text(function: LoopFunction) -> str:
+    """Render a lowered function as indented pseudo-code."""
+    lines = [f"def {function.name}({', '.join(function.params)}):"]
+    for name, value in function.constants.items():
+        lines.append(f"  {name} = const {list(value.shape)}")
+    for stmt in function.body:
+        _render(stmt, 1, lines)
+    lines.append(f"  return {function.result}")
+    return "\n".join(lines)

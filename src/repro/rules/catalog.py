@@ -1,0 +1,135 @@
+"""The rewrite rules the paper reports STENSO discovering (Section VII-D).
+
+Expressed as :class:`MinedRule` values over metavariable inputs, matching
+the paper's three highlighted examples:
+
+* *Diagonal Identity Replacement*:
+  ``diag(X @ Y)  =>  sum(X * Y.T, axis=1)``
+* *Algebraic Simplification*:
+  ``X / sqrt(X)  =>  sqrt(X)``
+* *Strength Reduction* (from elem_square / power_neg):
+  ``power(X, 2) => X * X`` and ``power(X, -1) => 1 / X``
+* *Trace Identity* (from trace_dot / sum_diag_dot):
+  ``trace(X @ Y.T) => sum(X * Y)``
+
+The paper's *Vectorization* rule (``stack([c ⊙ x for x in X]) => c ⊙ X``)
+is over an unbounded family of loop bodies, so it is provided as a direct
+:class:`~repro.backends.rewriter.NamedRule` pattern instead of a finite
+``MinedRule``.
+"""
+
+from __future__ import annotations
+
+from repro.backends.rewriter import NamedRule
+from repro.ir.nodes import Call, Const, Input, Node
+from repro.ir.types import float_tensor
+from repro.rules.mining import MinedRule
+
+# Metavariable prototypes: concrete small types; matching is dtype-based so
+# these shapes never constrain applications.
+_X_MAT = Input("X", float_tensor(3, 3))
+_Y_MAT = Input("Y", float_tensor(3, 3))
+_X_ANY = Input("X", float_tensor(3))
+
+
+DIAG_IDENTITY = MinedRule(
+    name="diag-dot-identity",
+    lhs=Call("diag", (Call("dot", (_X_MAT, _Y_MAT)),)),
+    rhs=Call("sum", (Call("multiply", (_X_MAT, Call("transpose", (_Y_MAT,)))),), axis=1),
+)
+
+DIV_SQRT = MinedRule(
+    name="div-sqrt",
+    lhs=Call("divide", (_X_ANY, Call("sqrt", (_X_ANY,)))),
+    rhs=Call("sqrt", (_X_ANY,)),
+)
+
+POW2_TO_MUL = MinedRule(
+    name="pow2-to-mul",
+    lhs=Call("power", (_X_ANY, Const(2.0))),
+    rhs=Call("multiply", (_X_ANY, _X_ANY)),
+)
+
+POW_NEG1_TO_DIV = MinedRule(
+    name="pow-neg1-to-div",
+    lhs=Call("power", (_X_ANY, Const(-1.0))),
+    rhs=Call("divide", (Const(1.0), _X_ANY)),
+)
+
+TRACE_DOT_IDENTITY = MinedRule(
+    name="trace-dot-identity",
+    lhs=Call("trace", (Call("dot", (_X_MAT, Call("transpose", (_Y_MAT,)))),)),
+    rhs=Call("sum", (Call("multiply", (_X_MAT, _Y_MAT)),)),
+)
+
+DISCOVERED_RULES: tuple[MinedRule, ...] = (
+    DIAG_IDENTITY,
+    DIV_SQRT,
+    POW2_TO_MUL,
+    POW_NEG1_TO_DIV,
+    TRACE_DOT_IDENTITY,
+)
+
+
+def _vectorize_stack(node: Call) -> Node | None:
+    """``stack([index(X, 0) ⊙ c, index(X, 1) ⊙ c, ...]) => X ⊙ c``.
+
+    Matches a stack whose i-th operand applies the *same* elementwise op to
+    ``X[i]`` and a loop-invariant operand — the unrolled trace a Python
+    comprehension leaves behind — and replaces the whole stack with one
+    broadcasted operation.  This is the paper's Vectorization rule with
+    ``⊙ ∈ {add, subtract, multiply, divide}``.
+    """
+    if node.op != "stack" or node.attr("axis", 0) != 0 or len(node.args) < 2:
+        return None
+    first = node.args[0]
+    if not isinstance(first, Call) or first.op not in ("add", "subtract", "multiply", "divide"):
+        return None
+    for index_pos in (0, 1):
+        base, invariant = _split_body(first, index_pos)
+        if base is None:
+            continue
+        ok = True
+        for i, arg in enumerate(node.args):
+            if not (
+                isinstance(arg, Call)
+                and arg.op == first.op
+                and _split_body(arg, index_pos) == (base, invariant)
+                and _indexes(arg.args[index_pos], base, i)
+            ):
+                ok = False
+                break
+        if not ok:
+            continue
+        # Broadcasting X (n, ...) against the invariant reproduces the stack
+        # when the invariant's rank does not exceed the row rank.
+        if invariant.type.rank > base.type.rank - 1:
+            continue
+        operands = [base, invariant] if index_pos == 0 else [invariant, base]
+        try:
+            replacement = Call(first.op, tuple(operands))
+        except Exception:
+            return None
+        if replacement.type == node.type:
+            return replacement
+    return None
+
+
+def _split_body(body: Call, index_pos: int):
+    """(iterated tensor, invariant operand) of one loop-body application."""
+    indexed = body.args[index_pos]
+    if not (isinstance(indexed, Call) and indexed.op == "index"):
+        return None, None
+    return indexed.args[0], body.args[1 - index_pos]
+
+
+def _indexes(node: Node, base: Node, i: int) -> bool:
+    return (
+        isinstance(node, Call)
+        and node.op == "index"
+        and node.args[0] == base
+        and node.attr("i") == i
+    )
+
+
+VECTORIZE_STACK = NamedRule("vectorize-stack", _vectorize_stack)

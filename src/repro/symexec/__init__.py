@@ -1,0 +1,24 @@
+"""Symbolic execution of tensor IR programs (paper Section IV-A)."""
+
+from repro.symexec.canonical import canonical, canonical_key, equivalent, equivalent_exprs
+from repro.symexec.engine import symbolic_execute
+from repro.symexec.symtensor import (
+    SymTensor,
+    element_symbol,
+    input_symbols_of,
+    symbol_origin,
+    symbols_by_input,
+)
+
+__all__ = [
+    "SymTensor",
+    "canonical",
+    "canonical_key",
+    "element_symbol",
+    "equivalent",
+    "equivalent_exprs",
+    "input_symbols_of",
+    "symbol_origin",
+    "symbolic_execute",
+    "symbols_by_input",
+]

@@ -1,0 +1,135 @@
+"""Canonicalization and equivalence of symbolic expressions.
+
+The synthesizer compares specifications by *canonical key*: a cheap, cached
+normal form (``cancel`` + ``expand`` + min/max normalization).  When keys
+differ, a slower ``simplify``-based fallback decides equivalence; the
+fallback is only invoked for candidates that already agree on free symbols
+and shape, which keeps the search fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import sympy as sp
+
+from repro.symexec.symtensor import SymTensor
+
+
+def _piecewise_to_minmax(expr: sp.Expr) -> sp.Expr:
+    """Rewrite two-branch relational Piecewise terms into Min/Max.
+
+    ``np.where(np.less(A, B), B, A)`` symbolically executes to
+    ``Piecewise((B, A < B), (A, True))`` while ``np.max(np.stack([A, B]))``
+    executes to ``Max(A, B)``.  Both denote the same function; Min/Max is the
+    canonical spelling.
+    """
+    if not expr.has(sp.Piecewise):
+        return expr
+
+    def rewrite(pw: sp.Piecewise) -> sp.Expr:
+        if len(pw.args) != 2:
+            return pw
+        (val_true, cond), (val_false, cond2) = pw.args
+        if cond2 is not sp.true:
+            return pw
+        lhs, rhs, flipped = None, None, False
+        if isinstance(cond, sp.StrictLessThan) or isinstance(cond, sp.LessThan):
+            lhs, rhs = cond.lhs, cond.rhs
+        elif isinstance(cond, sp.StrictGreaterThan) or isinstance(cond, sp.GreaterThan):
+            lhs, rhs, flipped = cond.lhs, cond.rhs, True
+        else:
+            return pw
+        small, large = (rhs, lhs) if flipped else (lhs, rhs)
+        # cond is (small < large): picking `large` when true is Max, `small` is Min.
+        if val_true == large and val_false == small:
+            return sp.Max(small, large)
+        if val_true == small and val_false == large:
+            return sp.Min(small, large)
+        return pw
+
+    return expr.replace(lambda e: isinstance(e, sp.Piecewise), rewrite)
+
+
+def _needs_cancel(expr: sp.Expr) -> bool:
+    """``cancel`` is expensive; only rational/radical expressions benefit.
+
+    Positive-integer powers expand fine without it, so only negative or
+    fractional exponents (division, roots) trigger cancellation.
+    """
+    try:
+        for p in expr.atoms(sp.Pow):
+            e = p.exp
+            if e.is_Integer and e.is_positive:
+                continue
+            return True
+    except (AttributeError, TypeError):
+        return False
+    return False
+
+
+@lru_cache(maxsize=200_000)
+def canonical(expr: sp.Expr) -> sp.Expr:
+    """Cheap cached normal form used for key-based matching."""
+    out = expr
+    if _needs_cancel(expr):
+        try:
+            out = sp.cancel(expr)
+        except (sp.PolynomialError, AttributeError, NotImplementedError, TypeError):
+            out = expr
+    try:
+        out = sp.expand(out)
+    except (AttributeError, NotImplementedError):
+        pass
+    return _piecewise_to_minmax(out)
+
+
+@lru_cache(maxsize=200_000)
+def _srepr(expr: sp.Expr) -> str:
+    return sp.srepr(expr)
+
+
+def canonical_key(tensor: SymTensor) -> tuple:
+    """Hashable structural key of a symbolic tensor's canonical form."""
+    return (
+        tensor.shape,
+        tensor.dtype,
+        tuple(_srepr(canonical(e)) for e in tensor.entries()),
+    )
+
+
+@lru_cache(maxsize=100_000)
+def _equivalent_exprs_slow(a: sp.Expr, b: sp.Expr) -> bool:
+    try:
+        diff = sp.simplify(a - b)
+    except (TypeError, NotImplementedError):
+        return False
+    if diff == 0 or diff.is_zero:
+        return True
+    # simplify does not factor under radicals (sqrt(y^2+2y+1) vs y+1); a
+    # factor pass catches perfect powers.
+    try:
+        diff = sp.simplify(diff.replace(
+            lambda e: e.is_Pow and not e.exp.is_Integer,
+            lambda e: sp.factor(e.base) ** e.exp,
+        ))
+    except (TypeError, NotImplementedError, AttributeError, sp.PolynomialError):
+        return False
+    return bool(diff == 0 or diff.is_zero)
+
+
+def equivalent_exprs(a: sp.Expr, b: sp.Expr) -> bool:
+    """Decide semantic equality of two expressions (sound, may be slow)."""
+    ca, cb = canonical(a), canonical(b)
+    if ca == cb:
+        return True
+    if ca.free_symbols != cb.free_symbols:
+        return False
+    return _equivalent_exprs_slow(ca, cb)
+
+
+def equivalent(a: SymTensor, b: SymTensor) -> bool:
+    """Decide elementwise semantic equality of two symbolic tensors."""
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    return all(equivalent_exprs(ea, eb) for ea, eb in zip(a.entries(), b.entries()))

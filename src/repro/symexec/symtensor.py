@@ -1,0 +1,186 @@
+"""Symbolic tensors: NumPy object ndarrays of SymPy expressions.
+
+A :class:`SymTensor` is the value domain of symbolic execution.  Program
+inputs become tensors of fresh SymPy symbols (``A[0,1]`` …); executing the
+IR over them yields, per output element, one comprehensive mathematical
+expression over input symbols — the *target specification* Φ of the paper
+(Section IV-A).
+
+Float input elements are created with ``positive=True``.  Benchmarks are
+verified on strictly positive random inputs, and positivity lets SymPy
+perform the simplifications the paper relies on (``sqrt(x)**2 -> x``,
+``exp(log x) -> x`` …).  Boolean input elements are represented as the
+relational ``Symbol(...) > 0`` so they can appear in ``Piecewise``
+conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+import numpy as np
+import sympy as sp
+
+from repro.ir.types import DType, Shape, TensorType
+
+# Maps every generated element symbol to its (input name, index tuple), so the
+# solver can use index hints when splitting reductions.
+_SYMBOL_ORIGIN: dict[sp.Symbol, tuple[str, tuple[int, ...]]] = {}
+
+
+@lru_cache(maxsize=None)
+def element_symbol(input_name: str, index: tuple[int, ...], boolean: bool = False) -> sp.Expr:
+    """The SymPy expression standing for one element of a named input."""
+    suffix = ",".join(str(i) for i in index)
+    label = f"{input_name}[{suffix}]" if index else input_name
+    if boolean:
+        base = sp.Symbol(label + "?", real=True)
+        _SYMBOL_ORIGIN[base] = (input_name, index)
+        return sp.Gt(base, 0)
+    symbol = sp.Symbol(label, positive=True)
+    _SYMBOL_ORIGIN[symbol] = (input_name, index)
+    return symbol
+
+
+def symbol_origin(symbol: sp.Symbol) -> tuple[str, tuple[int, ...]] | None:
+    """Input name and element index a symbol was created for, if any."""
+    return _SYMBOL_ORIGIN.get(symbol)
+
+
+@dataclass(frozen=True)
+class SymTensor:
+    """An immutable symbolic tensor: expression array plus element dtype."""
+
+    data: np.ndarray  # dtype=object, entries are sympy expressions
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        if self.data.dtype != object:
+            object.__setattr__(self, "data", self.data.astype(object))
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def from_input(name: str, type: TensorType) -> "SymTensor":
+        boolean = type.dtype is DType.BOOL
+        data = np.empty(type.shape, dtype=object)
+        for idx in np.ndindex(*type.shape) if type.shape else [()]:
+            value = element_symbol(name, tuple(idx), boolean=boolean)
+            if type.shape:
+                data[idx] = value
+            else:
+                data = np.array(value, dtype=object)
+        return SymTensor(data, type.dtype)
+
+    @staticmethod
+    def from_value(value, dtype: DType = DType.FLOAT) -> "SymTensor":
+        arr = np.asarray(value)
+        data = np.empty(arr.shape, dtype=object)
+        flat = data.reshape(-1) if arr.shape else None
+        if arr.shape:
+            for i, v in enumerate(arr.reshape(-1)):
+                flat[i] = sp.S(bool(v)) if dtype is DType.BOOL else sp.nsimplify(float(v), rational=True)
+        else:
+            item = arr.item()
+            data = np.array(
+                sp.S(bool(item)) if dtype is DType.BOOL else sp.nsimplify(float(item), rational=True),
+                dtype=object,
+            )
+        return SymTensor(data, dtype)
+
+    # -- basic views ----------------------------------------------------------
+
+    @property
+    def shape(self) -> Shape:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def type(self) -> TensorType:
+        return TensorType(self.dtype, self.shape)
+
+    def entries(self) -> Iterator[sp.Expr]:
+        if self.shape == ():
+            yield self.data.item() if isinstance(self.data, np.ndarray) else self.data
+        else:
+            yield from self.data.reshape(-1)
+
+    def map(self, fn) -> "SymTensor":
+        """Apply ``fn`` to every entry, preserving shape and dtype."""
+        out = np.empty(self.shape, dtype=object)
+        if self.shape == ():
+            return SymTensor(np.array(fn(self.item()), dtype=object), self.dtype)
+        flat_in = self.data.reshape(-1)
+        flat_out = out.reshape(-1)
+        for i in range(flat_in.size):
+            flat_out[i] = fn(flat_in[i])
+        return SymTensor(out, self.dtype)
+
+    def item(self) -> sp.Expr:
+        return self.data.item() if self.data.shape == () else self.data.reshape(-1)[0]
+
+    # -- paper metrics ---------------------------------------------------------
+
+    def density(self) -> float:
+        """Ratio of non-zero entries to total entries (Section V-A).
+
+        ``np.where``/``triu``-style masking lowers density, which the
+        simplification objective rewards.
+        """
+        if self.size == 0:
+            return 0.0
+        nonzero = sum(0 if _is_zero(e) else 1 for e in self.entries())
+        return nonzero / self.size
+
+    def input_symbols(self) -> set[sp.Symbol]:
+        """All input element symbols appearing anywhere in the tensor."""
+        out: set[sp.Symbol] = set()
+        for e in self.entries():
+            out |= _input_symbols_of(e)
+        return out
+
+    def input_names(self) -> set[str]:
+        """Names of the program inputs referenced by this tensor."""
+        return {
+            origin[0]
+            for s in self.input_symbols()
+            if (origin := symbol_origin(s)) is not None
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SymTensor(shape={self.shape}, dtype={self.dtype.value}, data={self.data!r})"
+
+
+def _is_zero(expr: sp.Expr) -> bool:
+    try:
+        return bool(expr.is_zero)
+    except (AttributeError, TypeError):
+        return False
+
+
+def _input_symbols_of(expr) -> set[sp.Symbol]:
+    try:
+        free = expr.free_symbols
+    except AttributeError:
+        return set()
+    return {s for s in free if s in _SYMBOL_ORIGIN}
+
+
+def input_symbols_of(expr) -> set[sp.Symbol]:
+    """Public helper: the input element symbols of a single expression."""
+    return _input_symbols_of(expr)
+
+
+def symbols_by_input(symbols: Iterable[sp.Symbol]) -> dict[str, set[sp.Symbol]]:
+    """Group element symbols by the program input they belong to."""
+    grouped: dict[str, set[sp.Symbol]] = {}
+    for s in symbols:
+        origin = symbol_origin(s)
+        if origin is not None:
+            grouped.setdefault(origin[0], set()).add(s)
+    return grouped

@@ -1,0 +1,42 @@
+"""Sketch-based synthesis: enumeration, solving, and cost-guided search."""
+
+from repro.synth.complexity import simplifies, spec_complexity
+from repro.synth.config import DEFAULT_CONFIG, SIMPLIFICATION_ONLY, SynthesisConfig
+from repro.synth.enumerator import StubEntry, StubEnumerator, program_constants
+from repro.synth.library import Library, build_library, retype_sketch
+from repro.synth.search import SearchContext, SearchStats, dfs
+from repro.synth.sketch import Hole, Sketch, holes_of, is_hole, sketches_from_stub
+from repro.synth.solver import SketchSolver
+from repro.synth.superoptimizer import (
+    SynthesisResult,
+    superoptimize_program,
+    superoptimize_source,
+    verify_candidate,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SIMPLIFICATION_ONLY",
+    "Hole",
+    "Library",
+    "SearchContext",
+    "SearchStats",
+    "Sketch",
+    "SketchSolver",
+    "StubEntry",
+    "StubEnumerator",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "build_library",
+    "dfs",
+    "holes_of",
+    "is_hole",
+    "program_constants",
+    "retype_sketch",
+    "simplifies",
+    "sketches_from_stub",
+    "spec_complexity",
+    "superoptimize_program",
+    "superoptimize_source",
+    "verify_candidate",
+]

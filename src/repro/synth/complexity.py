@@ -1,0 +1,45 @@
+"""Specification complexity — the simplification objective of Section V-A.
+
+The paper estimates how complex a specification is as
+``|var(Φ)| * density(Φ)``: the number of unique program inputs referenced by
+the symbolic tensor, scaled by the ratio of non-zero elements.
+
+We support two readings of ``|var(Φ)|``:
+
+* ``per_entry`` (default): the *mean* number of unique input element symbols
+  per tensor entry.  This is the reading under which reduction sketches
+  (``np.sum(??, axis=k)``) are monotone simplifications: the hole of
+  ``sum(??, axis=1)`` against ``diag(A @ B)`` has the same *global* symbol
+  set as the spec, but each of its entries mentions only 2 symbols instead of
+  2n — exactly the progress the search needs to reach
+  ``sum(A * B.T, axis=1)``.
+* ``global``: the literal whole-tensor unique-symbol count of the paper's
+  formula, provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.symexec.symtensor import SymTensor, input_symbols_of
+
+
+def spec_complexity(spec: SymTensor, mode: str = "per_entry") -> float:
+    """Complexity of a specification under the given mode (lower = simpler)."""
+    density = spec.density()
+    if mode == "global":
+        nvars = float(len(spec.input_symbols()))
+    elif mode == "per_entry":
+        sizes = [len(input_symbols_of(e)) for e in spec.entries()]
+        nvars = sum(sizes) / len(sizes) if sizes else 0.0
+    else:
+        raise ValueError(f"unknown complexity mode {mode!r}")
+    return nvars * density
+
+
+def simplifies(hole_specs: list[SymTensor], current: float, mode: str = "per_entry") -> bool:
+    """The paper's PRUNE criterion: a sketch survives iff the *average*
+    complexity of its hole specifications is strictly below the current
+    specification complexity."""
+    if not hole_specs:
+        return True
+    avg = sum(spec_complexity(h, mode) for h in hole_specs) / len(hole_specs)
+    return avg < current

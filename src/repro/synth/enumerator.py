@@ -1,0 +1,309 @@
+"""Bottom-up enumerative stub generation (paper Section IV-B).
+
+Starting from terminals (program inputs and constants), each iteration
+combines grammar operations with previously generated stubs, type-checking
+every candidate and deduplicating by *observational equivalence* — two stubs
+with the same canonical symbolic tensor are the same building block, and the
+cheaper one (per the active cost model) is kept.  Constant-only stubs are
+folded into new constant terminals (so ``1 + 3`` becomes the terminal ``4``).
+
+Growth policy
+-------------
+
+* ``grow_both_args=False`` (default): at most one argument of a level-2 stub
+  is compound, keeping the library near-linear in the level-1 count —
+  ``grow_both_args=True`` gives the full growth the paper describes as
+  exponential in depth.
+* Boolean machinery (``less``, ``where``, ``triu``/``tril``) is enumerated
+  only when the input program itself involves predicates, masking, or
+  min/max reductions; for purely arithmetic programs those productions can
+  never appear in an optimal equivalent that our solver can reach, and
+  skipping them cuts the library by an order of magnitude.
+* ``power`` exponents are restricted to scalar *constants* (the paper's
+  ``FCons`` terminals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+import sympy as sp
+
+from repro.cost.base import CostModel
+from repro.errors import TypeInferenceError
+from repro.ir.nodes import Call, Const, Input, Node
+from repro.ir.parser import Program
+from repro.ir.types import DType
+from repro.symexec.canonical import canonical_key
+from repro.symexec.engine import symbolic_execute
+from repro.symexec.symtensor import SymTensor
+from repro.synth.config import SynthesisConfig
+
+#: Ops in the input program that signal predicate/masking/extremum structure.
+_BOOLEAN_TRIGGERS = {"less", "where", "max", "min", "maximum", "minimum", "triu", "tril"}
+
+
+@dataclass(frozen=True)
+class StubEntry:
+    """A deduplicated stub: IR tree, its symbolic tensor, canonical key."""
+
+    node: Node
+    tensor: SymTensor
+    key: tuple
+
+
+def program_constants(program: Program) -> list[Const]:
+    """Scalar/tensor constants appearing in the input program (FCons)."""
+    seen: dict[Const, None] = {}
+    for node in program.node.walk():
+        if isinstance(node, Const):
+            seen.setdefault(node)
+    return list(seen)
+
+
+def _terminals(program: Program, config: SynthesisConfig) -> list[Node]:
+    nodes: list[Node] = list(program.inputs)
+    consts: dict[Const, None] = {}
+    for c in program_constants(program):
+        consts.setdefault(c)
+    for value in config.extra_constants:
+        consts.setdefault(Const(float(value)))
+    nodes.extend(consts)
+    return nodes
+
+
+def _axes_for(rank: int) -> list[int | None]:
+    return [None] + list(range(rank))
+
+
+def _is_const_tree(node: Node) -> bool:
+    return all(not isinstance(n, Input) for n in node.walk())
+
+
+class StubEnumerator:
+    """Bottom-up enumeration with observational-equivalence deduplication."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: SynthesisConfig,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.program = program
+        self.config = config
+        self.cost_model = cost_model
+        self._by_key: dict[tuple, StubEntry] = {}
+        self._seen_nodes: set[Node] = set()
+        self._symexec_cache: dict[Node, SymTensor] = {}
+        #: Every well-defined candidate, including behavioural duplicates.
+        #: Sketches are derived from these: dedup keeps only one of
+        #: ``power(A, 2)`` / ``multiply(A, A)``, but both spawn distinct,
+        #: useful sketches (``power(A, ??)`` has no multiply counterpart).
+        self.sketch_sources: list[Node] = []
+        self._levels: list[list[StubEntry]] = []
+        program_ops = {n.op for n in program.node.walk() if isinstance(n, Call)}
+        has_bool_input = any(i.type.dtype is DType.BOOL for i in program.inputs)
+        self.enable_boolean = bool(program_ops & _BOOLEAN_TRIGGERS) or has_bool_input
+        # Shapes available for `full` (program input shapes + output shape).
+        shapes = {inp.type.shape for inp in program.inputs if inp.type.shape}
+        shapes.add(program.node.type.shape)
+        self.shapes = sorted(s for s in shapes if s)
+
+    # -- public ---------------------------------------------------------------
+
+    def enumerate(self) -> list[StubEntry]:
+        """Run ``config.max_depth`` iterations; return all deduped stubs."""
+        terminals = []
+        for node in _terminals(self.program, self.config):
+            entry = self._admit(node)
+            if entry is not None:
+                terminals.append(entry)
+        self._levels.append(terminals)
+        for _ in range(self.config.max_depth):
+            if len(self._by_key) >= self.config.max_stubs:
+                break
+            new_level: list[StubEntry] = []
+            for candidate in self._grow():
+                if len(self._by_key) >= self.config.max_stubs:
+                    break
+                entry = self._admit(candidate)
+                if entry is not None:
+                    new_level.append(entry)
+            if not new_level:
+                break
+            self._levels.append(new_level)
+        return list(self._by_key.values())
+
+    @property
+    def stub_count(self) -> int:
+        return len(self._by_key)
+
+    # -- internals -------------------------------------------------------------
+
+    def _cost(self, node: Node) -> float:
+        if self.cost_model is not None:
+            return self.cost_model.program_cost(node)
+        return float(node.num_nodes)
+
+    def _prefer(self, new: Node, old: Node) -> bool:
+        """Should ``new`` replace the behaviourally-equal ``old`` stub?
+
+        Primarily by cost, but near-ties (within 5% — measured costs are
+        noisy) are broken toward *shape-polymorphic* stubs: an embedded shape
+        attribute or tensor constant pins the program to the synthesis shapes
+        and cannot be transported to the benchmark's real sizes.
+        """
+        new_cost, old_cost = self._cost(new), self._cost(old)
+        if new_cost < 0.95 * old_cost:
+            return True
+        if new_cost > 1.05 * old_cost:
+            return False
+        return (_shape_pinned(new), new.num_nodes, new_cost) < (
+            _shape_pinned(old), old.num_nodes, old_cost
+        )
+
+    def _admit(self, node: Node) -> StubEntry | None:
+        """Type-check, constant-fold, symbolically execute, and dedupe."""
+        if node in self._seen_nodes:
+            return None
+        self._seen_nodes.add(node)
+        if node.type.size > self.config.max_stub_entries:
+            return None
+        if _is_const_tree(node) and isinstance(node, Call):
+            folded = _fold_constant(node)
+            if folded is None:
+                return None
+            node = folded
+            if node in self._seen_nodes:
+                return None
+            self._seen_nodes.add(node)
+        try:
+            tensor = symbolic_execute(node, cache=self._symexec_cache)
+        except Exception:
+            return None  # e.g. division by a constant zero
+        if any(_has_undefined(e) for e in tensor.entries()):
+            return None
+        try:
+            key = canonical_key(tensor)
+        except Exception:
+            return None
+        self.sketch_sources.append(node)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            if self._prefer(node, existing.node):
+                # Same behaviour, better implementation: replace in place so
+                # base-case MATCH always returns the best equivalent stub.
+                self._by_key[key] = StubEntry(node, tensor, key)
+            return None
+        entry = StubEntry(node, tensor, key)
+        self._by_key[key] = entry
+        return entry
+
+    def _grow(self) -> Iterator[Node]:
+        terminals = [e.node for e in self._levels[0]]
+        new = [e.node for e in self._levels[-1]]
+        if self.config.grow_both_args:
+            old = [e.node for level in self._levels for e in level]
+            base, other = new + old, new + old
+        else:
+            base, other = new, terminals
+
+        float_new = [n for n in base if n.type.dtype is DType.FLOAT]
+        float_other = [n for n in other if n.type.dtype is DType.FLOAT]
+        # Conditions for `where` come from the previous level only, and its
+        # value operands from terminals: `where` is a masking/selection op, so
+        # deep boolean nesting only multiplies the library without adding
+        # reachable rewrites.
+        bool_pool = [n for n in new if n.type.dtype is DType.BOOL] + [
+            n for n in terminals if n.type.dtype is DType.BOOL
+        ]
+        const_scalars = [
+            n
+            for n in terminals
+            if isinstance(n, Const) and n.type.is_scalar and n.type.dtype is DType.FLOAT
+        ]
+
+        def pairs() -> Iterator[tuple[Node, Node]]:
+            for a in float_new:
+                for b in float_other:
+                    yield a, b
+                    if a is not b:
+                        yield b, a
+
+        binary_ops = ("add", "subtract", "multiply", "divide", "dot") + tuple(
+            self.config.extra_grammar_ops
+        )
+        for a, b in pairs():
+            for op in binary_ops:
+                yield from self._try(op, (a, b))
+            if a.type.rank + b.type.rank == self.program.node.type.rank:
+                yield from self._try("tensordot", (a, b), axes=0)
+            if self.enable_boolean:
+                yield from self._try("less", (a, b))
+        for a in float_new:
+            for c in const_scalars:
+                yield from self._try("power", (a, c))
+            yield from self._try("sqrt", (a,))
+            yield from self._try("transpose", (a,))
+            if self.enable_boolean:
+                yield from self._try("triu", (a,))
+                yield from self._try("tril", (a,))
+            for axis in _axes_for(a.type.rank):
+                yield from self._try("sum", (a,), axis=axis)
+            if a.type.is_scalar:
+                for shape in self.shapes:
+                    yield from self._try("full", (a,), shape=shape)
+        if self.enable_boolean:
+            terminal_floats = [n for n in terminals if n.type.dtype is DType.FLOAT]
+            for cond in bool_pool:
+                for x in terminal_floats:
+                    for y in terminal_floats:
+                        yield from self._try("where", (cond, x, y))
+
+    def _try(self, op: str, args: tuple[Node, ...], **attrs) -> Iterator[Node]:
+        try:
+            yield Call(op, args, **attrs)
+        except TypeInferenceError:
+            return
+
+
+def _shape_pinned(node: Node) -> int:
+    """1 when the program embeds concrete shapes (shape attrs or tensor
+    constants) and therefore is not transportable to other input sizes."""
+    for n in node.walk():
+        if isinstance(n, Call) and n.attr("shape") is not None:
+            return 1
+        if isinstance(n, Const) and not n.is_scalar:
+            return 1
+    return 0
+
+
+def _has_undefined(expr) -> bool:
+    try:
+        return expr.has(sp.zoo, sp.oo, -sp.oo, sp.nan)
+    except (AttributeError, TypeError):
+        return False
+
+
+def _fold_constant(node: Call) -> Node | None:
+    """Evaluate a constant-only stub into a :class:`Const` terminal.
+
+    Returns None when evaluation is undefined (division by zero, 0**-1, ...).
+    """
+    from repro.ir.evaluator import evaluate
+
+    try:
+        with np.errstate(all="ignore"):
+            value = np.asarray(evaluate(node, {}))
+    except Exception:
+        return None
+    if value.dtype != np.bool_ and not np.all(np.isfinite(value.astype(float))):
+        return None
+    if value.shape:
+        # Folding a tensor-valued constant tree would pin the synthesis
+        # shapes into a literal array; keep the op tree (it still dedupes
+        # against scalar-broadcast equivalents by canonical key).
+        return node
+    return Const(value, node.type)

@@ -1,0 +1,122 @@
+"""Sketch library construction (the left side of Fig. 2).
+
+A :class:`Library` holds the enumerated stubs — indexed by canonical key for
+the base-case MATCH of Algorithm 2 — and the sketches derived from them,
+indexed by output type for fast filtering in SOLVE.  Costs are attached from
+the active cost model when the library is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cost.base import CostModel
+from repro.ir.nodes import Call, Input, Node
+from repro.ir.parser import Program
+from repro.ir.types import DType, TensorType
+from repro.symexec.symtensor import SymTensor
+from repro.synth.config import SynthesisConfig
+from repro.synth.enumerator import StubEntry, StubEnumerator
+from repro.synth.sketch import Hole, Sketch, sketches_from_stub
+
+
+@dataclass
+class Library:
+    """Stub and sketch library for one synthesis problem."""
+
+    stubs: list[StubEntry]
+    stub_by_key: dict[tuple, StubEntry]
+    stub_costs: dict[Node, float]
+    stubs_by_sig: dict[tuple, list[StubEntry]]
+    sketches: list[Sketch]
+    sketches_by_type: dict[TensorType, list[Sketch]]
+
+    def match_stub(self, key: tuple) -> StubEntry | None:
+        """Base-case MATCH: exact canonical-key lookup."""
+        return self.stub_by_key.get(key)
+
+    def stubs_with_signature(self, shape: tuple[int, ...], dtype: DType) -> list[StubEntry]:
+        """Stubs sharing shape/dtype — candidates for slow-path matching."""
+        return self.stubs_by_sig.get((shape, dtype), [])
+
+    def sketches_for(self, type: TensorType) -> list[Sketch]:
+        return self.sketches_by_type.get(type, [])
+
+    @property
+    def stub_count(self) -> int:
+        return len(self.stubs)
+
+    @property
+    def sketch_count(self) -> int:
+        return len(self.sketches)
+
+
+def build_library(
+    program: Program, config: SynthesisConfig, cost_model: CostModel
+) -> Library:
+    """Enumerate stubs for ``program`` and derive the sketch library."""
+    enumerator = StubEnumerator(program, config, cost_model=cost_model)
+    stubs = enumerator.enumerate()
+
+    stub_by_key: dict[tuple, StubEntry] = {}
+    stub_costs: dict[Node, float] = {}
+    stubs_by_sig: dict[tuple, list[StubEntry]] = {}
+    for entry in stubs:
+        stub_by_key[entry.key] = entry
+        stub_costs[entry.node] = cost_model.program_cost(entry.node)
+        stubs_by_sig.setdefault((entry.tensor.shape, entry.tensor.dtype), []).append(entry)
+
+    sketches: list[Sketch] = []
+    seen_roots: set[Node] = set()
+    for source in enumerator.sketch_sources:
+        if not isinstance(source, Call):
+            continue  # terminals produce no sketches
+        for sk in sketches_from_stub(source, multi_hole=config.multi_hole_sketches):
+            if sk.root in seen_roots:
+                continue
+            seen_roots.add(sk.root)
+            sketches.append(sk.with_cost(cost_model.program_cost(sk.root)))
+
+    sketches.sort(key=lambda s: (s.cost, s.root.num_nodes))
+    sketches_by_type: dict[TensorType, list[Sketch]] = {}
+    for sk in sketches:
+        sketches_by_type.setdefault(sk.root.type, []).append(sk)
+
+    return Library(
+        stubs=stubs,
+        stub_by_key=stub_by_key,
+        stub_costs=stub_costs,
+        stubs_by_sig=stubs_by_sig,
+        sketches=sketches,
+        sketches_by_type=sketches_by_type,
+    )
+
+
+def retype_sketch(sketch: Sketch, spec_type: TensorType, cost_model: CostModel) -> Sketch | None:
+    """Rebuild an elementwise-rooted sketch so its hole matches ``spec_type``.
+
+    ``add(??, y)`` derived from ``add(x, y)`` has a hole typed like ``x``;
+    against a larger (broadcast-compatible) spec the hole must widen — e.g.
+    vec_lerp's spec is (n, m) while ``x`` is (m,).  Only sketches whose hole
+    is a direct child of an elementwise root are retyped.
+    """
+    from repro.ir.ops import get_op
+
+    root = sketch.root
+    if sketch.num_holes != 1 or not isinstance(root, Call) or len(sketch.hole_path) != 1:
+        return None
+    if not get_op(root.op).elementwise:
+        return None
+    new_hole = Hole(0, TensorType(sketch.hole.type.dtype, spec_type.shape))
+    args = list(root.args)
+    args[sketch.hole_path[0]] = new_hole
+    try:
+        new_root = Call(root.op, tuple(args), **dict(root.attrs))
+    except Exception:
+        return None
+    if new_root.type != spec_type:
+        return None
+    return Sketch(
+        new_root, (new_hole,), sketch.hole_paths, cost_model.program_cost(new_root)
+    )

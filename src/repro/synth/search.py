@@ -1,0 +1,270 @@
+"""Top-down synthesis search with branch-and-bound (paper Algorithm 2).
+
+The DFS starts from the symbolic specification of the input program.  At each
+node it first tries the base case — an exact canonical-key match against the
+stub library — then decomposes the spec through sketches returned by the
+symbolic algebra solver, keeping only sketches that *simplify* the spec
+(Section V-A) and whose accumulated cost stays below the best complete
+program found so far (Section V-B).  ``cost_min`` is shared across the whole
+search, mirroring the paper's pass-by-reference bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import SynthesisTimeout
+from repro.cost.base import CostModel
+from repro.ir.nodes import Node
+from repro.ir.types import TensorType
+from repro.symexec.canonical import canonical_key, equivalent
+from repro.symexec.symtensor import SymTensor
+from repro.synth.complexity import spec_complexity
+from repro.synth.config import SynthesisConfig
+from repro.synth.library import Library, retype_sketch
+from repro.synth.sketch import Sketch
+from repro.synth.solver import SketchSolver
+
+_INF = float("inf")
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one synthesis run (drives Fig. 5)."""
+
+    nodes_expanded: int = 0
+    solver_calls: int = 0
+    solver_hits: int = 0
+    pruned_simplification: int = 0
+    pruned_bound: int = 0
+    base_case_matches: int = 0
+    memo_hits: int = 0
+    stub_count: int = 0
+    sketch_count: int = 0
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class SearchContext:
+    """Mutable state threaded through the recursive search."""
+
+    def __init__(
+        self,
+        library: Library,
+        cost_model: CostModel,
+        config: SynthesisConfig,
+        cost_min: float,
+    ) -> None:
+        self.library = library
+        self.cost_model = cost_model
+        self.config = config
+        self.cost_min = cost_min  # pass-by-reference bound of Algorithm 2
+        self.solver = SketchSolver(config)
+        self.stats = SearchStats(
+            stub_count=library.stub_count, sketch_count=library.sketch_count
+        )
+        self.deadline = time.monotonic() + config.timeout_seconds
+        self.memo: dict[tuple, tuple[Node | None, float]] = {}
+        self._retyped: dict[TensorType, list[Sketch]] = {}
+
+    def check_time(self) -> None:
+        if time.monotonic() > self.deadline:
+            self.stats.timed_out = True
+            raise SynthesisTimeout("synthesis search exceeded its time budget")
+
+    # -- candidate sketch pool ---------------------------------------------------
+
+    def sketch_pool(self, spec: SymTensor) -> list[Sketch]:
+        spec_type = TensorType(spec.dtype, spec.shape)
+        pool = list(self.library.sketches_for(spec_type))
+        pool.extend(self._retyped_pool(spec_type))
+        names = spec.input_names()
+        filtered = [
+            sk for sk in pool if _sketch_input_names(sk) <= names or not names
+        ]
+        filtered.sort(key=lambda s: (s.cost, s.root.num_nodes))
+        return filtered[: self.config.max_candidates_per_node]
+
+    def _retyped_pool(self, spec_type: TensorType) -> list[Sketch]:
+        cached = self._retyped.get(spec_type)
+        if cached is not None:
+            return cached
+        out: list[Sketch] = []
+        seen: set[Node] = {sk.root for sk in self.library.sketches_for(spec_type)}
+        for sk in self.library.sketches:
+            if sk.root.type == spec_type:
+                continue
+            widened = retype_sketch(sk, spec_type, self.cost_model)
+            if widened is not None and widened.root not in seen:
+                seen.add(widened.root)
+                out.append(widened)
+        self._retyped[spec_type] = out
+        return out
+
+
+_SKETCH_INPUTS_CACHE: dict[Node, frozenset[str]] = {}
+
+
+def _sketch_input_names(sk: Sketch) -> frozenset[str]:
+    names = _SKETCH_INPUTS_CACHE.get(sk.root)
+    if names is None:
+        from repro.synth.sketch import is_hole
+
+        names = frozenset(i.name for i in sk.root.inputs() if not is_hole(i))
+        _SKETCH_INPUTS_CACHE[sk.root] = names
+    return names
+
+
+def _constant_spec_node(spec: SymTensor, ctx: SearchContext) -> Node | None:
+    """Synthesize a specification that references no program inputs.
+
+    Constant hole specs arise naturally (``5*A`` decomposed through
+    ``multiply(??, A)`` leaves a tensor of fives) but cannot be reached by
+    the simplification objective — their complexity is already 0.  They are
+    constructed directly instead: a scalar :class:`Const` when the entries
+    are uniform (broadcasting keeps the filled sketch well-typed and the
+    printed program shape-polymorphic), an exact-shape array constant
+    otherwise.
+    """
+    import sympy as sp
+
+    from repro.ir.nodes import Const
+
+    if spec.input_symbols():
+        return None
+    values = []
+    for e in spec.entries():
+        try:
+            values.append(float(sp.nsimplify(e)))
+        except (TypeError, ValueError):
+            return None
+    if all(v == values[0] for v in values):
+        return Const(values[0])
+    import numpy as np
+
+    return Const(np.array(values, dtype=float).reshape(spec.shape))
+
+
+def _match_base_case(spec: SymTensor, key: tuple, ctx: SearchContext):
+    """MATCH of Algorithm 2: cheapest stub equivalent to the spec."""
+    entry = ctx.library.match_stub(key)
+    if entry is not None:
+        return entry
+    # Slow path: canonical keys can differ for semantically equal tensors
+    # (e.g. exp/log combinations); try full equivalence against stubs that
+    # agree on signature and referenced inputs.
+    names = spec.input_names()
+    candidates = [
+        e
+        for e in ctx.library.stubs_with_signature(spec.shape, spec.dtype)
+        if e.tensor.input_names() == names
+    ]
+    candidates.sort(key=lambda e: ctx.library.stub_costs[e.node])
+    for e in candidates[:24]:
+        if equivalent(e.tensor, spec):
+            return e
+    return None
+
+
+def dfs(
+    spec: SymTensor,
+    score: float,
+    level: int,
+    cost: float,
+    ctx: SearchContext,
+) -> tuple[Node | None, float]:
+    """Algorithm 2: returns (best subtree, its cost) for ``spec``.
+
+    ``cost`` is the accumulated cost of the partial program assembled on the
+    path from the root (the prefix), used by the branch-and-bound check.
+    """
+    ctx.check_time()
+    ctx.stats.nodes_expanded += 1
+    key = canonical_key(spec)
+
+    if ctx.config.memoize:
+        hit = ctx.memo.get(key)
+        if hit is not None:
+            ctx.stats.memo_hits += 1
+            return hit
+
+    # -- base case: constant specs are built directly --------------------------
+    const_node = _constant_spec_node(spec, ctx)
+    if const_node is not None:
+        result = (const_node, 0.0)
+        if ctx.config.memoize:
+            ctx.memo[key] = result
+        return result
+
+    # -- base case: direct stub match (lines 2-8) ------------------------------
+    matched = _match_base_case(spec, key, ctx)
+    if matched is not None:
+        ctx.stats.base_case_matches += 1
+        result = (matched.node, ctx.library.stub_costs[matched.node])
+        if ctx.config.memoize:
+            ctx.memo[key] = result
+        return result
+
+    if level >= ctx.config.max_recursion_depth:
+        return (None, _INF)
+
+    # -- recursive case: decompose through sketches (lines 9-28) ----------------
+    best_program: Node | None = None
+    best_cost = _INF
+    for sk in ctx.sketch_pool(spec):
+        ctx.check_time()
+        cost_total = cost + sk.cost
+        # Branch and bound (line 16): the pool is cost-sorted, so once one
+        # sketch busts the bound every later one does too.
+        if ctx.config.use_branch_and_bound and cost_total >= ctx.cost_min:
+            ctx.stats.pruned_bound += 1
+            break
+        if cost_total >= cost + best_cost:
+            break  # cannot beat the best completion already found here
+        ctx.stats.solver_calls += 1
+        hole_specs = ctx.solver.solve_all(sk, spec)
+        if hole_specs is None:
+            continue
+        ctx.stats.solver_hits += 1
+        hole_scores = [
+            spec_complexity(h, ctx.config.complexity_mode) for h in hole_specs
+        ]
+        # PRUNE (line 12): the *average* hole complexity must strictly drop.
+        if ctx.config.use_simplification and sum(hole_scores) / len(hole_scores) >= score:
+            ctx.stats.pruned_simplification += 1
+            continue
+        # Lines 15-22: synthesize each hole, accumulating cost, with the
+        # branch-and-bound check before every recursion.
+        fills: list[Node] = []
+        running = cost_total
+        success = True
+        for hole_spec, hole_score in zip(hole_specs, hole_scores):
+            if ctx.config.use_branch_and_bound and running >= ctx.cost_min:
+                ctx.stats.pruned_bound += 1
+                success = False
+                break
+            sub_program, sub_cost = dfs(hole_spec, hole_score, level + 1, running, ctx)
+            if sub_program is None:
+                success = False
+                break
+            fills.append(sub_program)
+            running += sub_cost
+        if not success:
+            continue
+        total = running - cost  # sketch skeleton + all hole costs
+        if total < best_cost:
+            best_program = sk.fill_many(fills)
+            best_cost = total
+            # Lines 29-31: a complete program exists once the root's sketch
+            # is filled; tighten the shared bound.
+            if level == 0 and cost + total < ctx.cost_min:
+                ctx.cost_min = cost + total
+
+    result = (best_program, best_cost)
+    if ctx.config.memoize and best_program is not None:
+        ctx.memo[key] = result
+    return result

@@ -1,0 +1,188 @@
+"""Sketches: program stubs with holes (paper Section IV-B).
+
+A *stub* is a complete small program enumerated from the grammar.  A *sketch*
+is derived from a stub by replacing one concrete input occurrence with a
+typed hole ``??``.  The synthesis search fills holes recursively.
+
+Holes are ordinary IR nodes (:class:`Hole`), so sketches type-check, print,
+and hash exactly like programs.  Each hole records the type of the input it
+replaced — that is how the solver knows the shape of the sub-specification it
+must produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from repro.ir.nodes import Call, Const, Input, Node
+from repro.ir.types import TensorType
+
+HOLE_PREFIX = "__hole"
+
+Path = tuple[int, ...]
+
+
+class Hole(Input):
+    """A typed hole in a sketch.
+
+    Implemented as an :class:`Input` with a reserved name so the rest of the
+    IR stack (typing, printing, symbolic execution via bindings) works
+    unchanged.
+    """
+
+    def __init__(self, index: int, type: TensorType) -> None:
+        super().__init__(f"{HOLE_PREFIX}{index}", type)
+
+    def __repr__(self) -> str:
+        return f"??{self.name.removeprefix(HOLE_PREFIX)}:{self.type}"
+
+
+def is_hole(node: Node) -> bool:
+    return isinstance(node, Input) and node.name.startswith(HOLE_PREFIX)
+
+
+def holes_of(node: Node) -> list[Input]:
+    """All distinct holes in first-occurrence order."""
+    return [inp for inp in node.inputs() if is_hole(inp)]
+
+
+def iter_paths(node: Node, path: Path = ()) -> Iterator[tuple[Path, Node]]:
+    """Pre-order traversal yielding (path, node) pairs."""
+    yield path, node
+    for i, child in enumerate(node.children()):
+        yield from iter_paths(child, path + (i,))
+
+
+def node_at(node: Node, path: Path) -> Node:
+    for i in path:
+        node = node.children()[i]
+    return node
+
+
+def replace_at(node: Node, path: Path, replacement: Node) -> Node:
+    """Rebuild ``node`` with the subtree at ``path`` replaced."""
+    if not path:
+        return replacement
+    assert isinstance(node, Call)
+    i, rest = path[0], path[1:]
+    new_args = list(node.args)
+    new_args[i] = replace_at(new_args[i], rest, replacement)
+    return Call(node.op, tuple(new_args), **dict(node.attrs))
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """A stub with one or more holes, plus search metadata.
+
+    ``root`` is the IR tree containing the holes; ``holes``/``hole_paths``
+    list them in a fixed order; ``cost`` is the estimated cost of the sketch
+    skeleton (every op in the sketch, with the holes' contributions
+    excluded), filled in by the active cost model when the library is built.
+
+    Single-hole sketches (the default library) expose ``hole``/``hole_path``
+    conveniences; Algorithm 2's ``for hole in sk.holes`` loop is the general
+    case (``SynthesisConfig.multi_hole_sketches``).
+    """
+
+    root: Node
+    holes: tuple[Input, ...]
+    hole_paths: tuple[Path, ...]
+    cost: float = 0.0
+
+    @property
+    def op(self) -> str:
+        assert isinstance(self.root, Call)
+        return self.root.op
+
+    @property
+    def num_holes(self) -> int:
+        return len(self.holes)
+
+    @property
+    def hole(self) -> Input:
+        assert len(self.holes) == 1
+        return self.holes[0]
+
+    @property
+    def hole_path(self) -> Path:
+        assert len(self.hole_paths) == 1
+        return self.hole_paths[0]
+
+    def fill(self, value: Node) -> Node:
+        """Plug a value into a single-hole sketch."""
+        return replace_at(self.root, self.hole_path, value)
+
+    def fill_many(self, values: "Sequence[Node]") -> Node:
+        """Plug one value per hole (paths are disjoint by construction)."""
+        assert len(values) == len(self.hole_paths)
+        out = self.root
+        # Replace deepest-first so shallower paths stay valid.
+        order = sorted(range(len(values)), key=lambda k: -len(self.hole_paths[k]))
+        for k in order:
+            out = replace_at(out, self.hole_paths[k], values[k])
+        return out
+
+    def with_cost(self, cost: float) -> "Sketch":
+        return Sketch(self.root, self.holes, self.hole_paths, cost)
+
+    def __repr__(self) -> str:
+        return f"Sketch({self.root!r}, cost={self.cost:g})"
+
+
+def sketches_from_stub(
+    stub: Node, scalar_const_holes: bool = True, multi_hole: bool = False
+) -> list[Sketch]:
+    """Derive single-hole (and optionally two-hole) sketches from a stub.
+
+    Every occurrence of a program input (not attrs) is replaced — one at a
+    time — by a hole of the same type, mirroring the paper's example: from
+    ``np.subtract(A, B)`` we derive ``np.subtract(??, B)`` and
+    ``np.subtract(A, ??)``.  Replacing the whole stub (empty path) is
+    excluded: a bare hole is not a useful sketch.
+
+    With ``scalar_const_holes`` (an extension over the paper's input-only
+    replacement), scalar constants are replaced too: the sketch
+    ``power(A, ??)`` — needed to synthesize strength reductions like
+    ``A*A*A*A*A -> power(A, 5)`` — only exists if the exponent constant of
+    a ``power(A, c)`` stub can become a hole.
+    """
+    out: list[Sketch] = []
+    seen: set[Node] = set()
+    replaceable_sites: list[tuple[Path, Node]] = []
+    for path, node in iter_paths(stub):
+        if not path:
+            continue
+        replaceable = (isinstance(node, Input) and not is_hole(node)) or (
+            scalar_const_holes and isinstance(node, Const) and node.type.is_scalar
+        )
+        if not replaceable:
+            continue
+        replaceable_sites.append((path, node))
+        hole = Hole(0, node.type)
+        root = replace_at(stub, path, hole)
+        if root in seen:
+            continue  # distinct paths can rebuild identical roots
+        seen.add(root)
+        out.append(Sketch(root=root, holes=(hole,), hole_paths=(path,)))
+    if multi_hole:
+        out.extend(_two_hole_sketches(stub, replaceable_sites, seen))
+    return out
+
+
+def _two_hole_sketches(
+    stub: Node, sites: list[tuple[Path, Node]], seen: set[Node]
+) -> list[Sketch]:
+    """Every pair of distinct replaceable sites becomes a two-hole sketch."""
+    out: list[Sketch] = []
+    for (path_a, node_a), (path_b, node_b) in combinations(sites, 2):
+        if path_a[: len(path_b)] == path_b or path_b[: len(path_a)] == path_a:
+            continue  # nested sites cannot both be holes
+        hole_a, hole_b = Hole(0, node_a.type), Hole(1, node_b.type)
+        root = replace_at(replace_at(stub, path_a, hole_a), path_b, hole_b)
+        if root in seen:
+            continue
+        seen.add(root)
+        out.append(Sketch(root=root, holes=(hole_a, hole_b), hole_paths=(path_a, path_b)))
+    return out

@@ -1,0 +1,697 @@
+"""The symbolic algebra solver (paper Section V-A).
+
+Given a sketch with one hole and a target specification Φ, the solver decides
+whether there exists an expression for the hole making the sketch equivalent
+to Φ — and if so, computes that expression (the *hole specification*):
+
+    ∃ expr . sketch(expr, arg_1, ...) = Φ
+
+The solver walks the path from the sketch root to the hole, inverting one
+operation per step.  Each grammar op registers a local inverter; ops whose
+inversion is not purely algebraic (``dot``, ``tensordot``, ``sum``) use
+coefficient extraction or index-hinted term splitting, each *verified
+symbolically* before being returned, so heuristic extraction can never
+produce an unsound decomposition.  When no chain of local inverters reaches
+the hole, a generic fallback binds the hole to fresh unknowns and calls
+``sympy.solve`` on the elementwise equation system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import sympy as sp
+
+from repro.ir.nodes import Call, Input, Node
+from repro.ir.types import DType, TensorType
+from repro.symexec.canonical import canonical
+from repro.symexec.engine import symbolic_execute
+from repro.symexec.symtensor import SymTensor, input_symbols_of, symbol_origin
+from repro.synth.config import SynthesisConfig
+from repro.synth.sketch import Sketch
+
+# An inverter takes (call, hole_position, sibling values, target, hole_type)
+# and returns the target for the hole subtree, or None if no solution exists.
+Inverter = Callable[
+    [Call, int, list[SymTensor | None], SymTensor, TensorType], SymTensor | None
+]
+
+_INVERTERS: dict[str, Inverter] = {}
+
+
+def _inverter(name: str):
+    def deco(fn):
+        _INVERTERS[name] = fn
+        return fn
+
+    return deco
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _normalize(expr):
+    """Light normalization for hole-spec entries.
+
+    ``cancel`` removes the division noise algebraic inversion introduces
+    (``(A*B*C)/C -> A*B``) but — unlike full canonicalization — does *not*
+    expand: an inverter may produce ``(y+1)**2`` (sqrt inversion), and
+    expanding it would stop the re-executed sketch from simplifying back
+    (``sqrt(y**2+2y+1)`` does not auto-collapse the way ``sqrt((y+1)**2)``
+    does).  Key-based matching canonicalizes separately.
+    """
+    import sympy as _sp
+
+    from repro.symexec.canonical import _needs_cancel
+
+    try:
+        if _needs_cancel(expr):
+            return _sp.cancel(expr)
+    except (AttributeError, TypeError, NotImplementedError):
+        pass
+    return expr
+
+
+def _canonical_tensor(data: np.ndarray, dtype: DType = DType.FLOAT) -> SymTensor:
+    t = SymTensor(np.asarray(data, dtype=object), dtype)
+    return t.map(_normalize)
+
+
+def _is_zero(e) -> bool:
+    try:
+        return bool(e.is_zero)
+    except (AttributeError, TypeError):
+        return e == 0
+
+
+def _unbroadcast(full: np.ndarray, target_shape: tuple[int, ...]) -> np.ndarray | None:
+    """Collapse a spec-shaped candidate array onto a smaller (broadcastable)
+    hole shape.  Returns None when entries that must coincide do not."""
+    full = np.asarray(full, dtype=object)
+    if full.shape == tuple(target_shape):
+        return full
+    out = np.empty(target_shape, dtype=object)
+    offset = full.ndim - len(target_shape)
+    for idx in np.ndindex(*full.shape) if full.shape else [()]:
+        tidx = tuple(
+            0 if target_shape[i] == 1 else idx[i + offset] for i in range(len(target_shape))
+        )
+        value = canonical(full[idx]) if hasattr(full[idx], "free_symbols") else full[idx]
+        existing = out[tidx] if target_shape else out[()]
+        if existing is None or (isinstance(existing, np.ndarray) and existing.dtype == object and existing.item() is None):
+            out[tidx] = value
+        elif existing != value:
+            return None
+    # np.empty(object) initializes to None; verify all slots were filled.
+    flat = out.reshape(-1) if target_shape else [out.item()]
+    if any(v is None for v in flat):
+        return None
+    return out
+
+
+def _broadcast_obj(t: SymTensor, shape: tuple[int, ...]) -> np.ndarray:
+    return np.broadcast_to(t.data, shape)
+
+
+def _elementwise_invert(
+    op_fn: Callable[[object, object], object | None],
+    target: SymTensor,
+    other: SymTensor,
+    hole_type: TensorType,
+) -> SymTensor | None:
+    """Generic elementwise inversion with broadcasting on both sides."""
+    spec_shape = target.shape
+    other_b = _broadcast_obj(other, spec_shape) if other.shape != spec_shape else other.data
+    full = np.empty(spec_shape, dtype=object)
+    it = np.ndindex(*spec_shape) if spec_shape else [()]
+    for idx in it:
+        value = op_fn(
+            target.data[idx] if spec_shape else target.item(),
+            other_b[idx] if spec_shape else (other_b.item() if isinstance(other_b, np.ndarray) else other_b),
+        )
+        if value is None:
+            return None
+        if spec_shape:
+            full[idx] = value
+        else:
+            full = np.array(value, dtype=object)
+    collapsed = _unbroadcast(full, hole_type.shape)
+    if collapsed is None:
+        return None
+    return _canonical_tensor(collapsed)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise inverters
+# ---------------------------------------------------------------------------
+
+
+@_inverter("add")
+def _invert_add(call, pos, args, target, hole_type):
+    other = args[1 - pos]
+    return _elementwise_invert(lambda t, o: t - o, target, other, hole_type)
+
+
+@_inverter("subtract")
+def _invert_subtract(call, pos, args, target, hole_type):
+    if pos == 0:
+        return _elementwise_invert(lambda t, o: t + o, target, args[1], hole_type)
+    return _elementwise_invert(lambda t, o: o - t, target, args[0], hole_type)
+
+
+def _safe_div(t, o):
+    if _is_zero(o):
+        return sp.S.Zero if _is_zero(t) else None
+    return t / o
+
+
+@_inverter("multiply")
+def _invert_multiply(call, pos, args, target, hole_type):
+    other = args[1 - pos]
+    return _elementwise_invert(_safe_div, target, other, hole_type)
+
+
+@_inverter("divide")
+def _invert_divide(call, pos, args, target, hole_type):
+    if pos == 0:
+        # divide(h, o) = t  =>  h = t * o, valid only where o != 0
+        # (a zero divisor would make the sketch produce 0/0, not t).
+        return _elementwise_invert(
+            lambda t, o: None if _is_zero(o) else t * o, target, args[1], hole_type
+        )
+    # divide(o, h) = t  =>  h = o / t; with o = 0 the sketch yields 0/0.
+    return _elementwise_invert(
+        lambda t, o: None if _is_zero(t) or _is_zero(o) else o / t,
+        target,
+        args[0],
+        hole_type,
+    )
+
+
+@_inverter("power")
+def _invert_power(call, pos, args, target, hole_type):
+    if pos == 0:
+        exponent = args[1]
+
+        def invert_base(t, o):
+            if _is_zero(o):
+                return None
+            # Factor first so perfect powers collapse: root of the expanded
+            # y**2+2y+1 stays opaque, root of (y+1)**2 simplifies to y+1.
+            try:
+                t = sp.factor(t)
+            except (sp.PolynomialError, AttributeError):
+                pass
+            return t ** (sp.S.One / o)
+
+        return _elementwise_invert(invert_base, target, exponent, hole_type)
+    base = args[0]
+
+    def invert_exponent(t, o):
+        if _is_zero(o):
+            return None
+        log_base = sp.log(o)
+        if _is_zero(log_base):
+            return None
+        # log(A**5)/log(A) needs an explicit simplify to collapse to 5;
+        # entries are tiny so this stays cheap.
+        return sp.simplify(sp.log(t) / log_base)
+
+    return _elementwise_invert(invert_exponent, target, base, hole_type)
+
+
+@_inverter("sqrt")
+def _invert_sqrt(call, pos, args, target, hole_type):
+    if target.shape != hole_type.shape:
+        return None
+    return _canonical_tensor(target.data ** 2)
+
+
+@_inverter("negative")
+def _invert_negative(call, pos, args, target, hole_type):
+    if target.shape != hole_type.shape:
+        return None
+    return _canonical_tensor(-target.data)
+
+
+@_inverter("exp")
+def _invert_exp(call, pos, args, target, hole_type):
+    if target.shape != hole_type.shape:
+        return None
+    log_u = np.frompyfunc(sp.log, 1, 1)
+    return _canonical_tensor(log_u(target.data))
+
+
+@_inverter("log")
+def _invert_log(call, pos, args, target, hole_type):
+    if target.shape != hole_type.shape:
+        return None
+    exp_u = np.frompyfunc(sp.exp, 1, 1)
+    return _canonical_tensor(exp_u(target.data))
+
+
+# ---------------------------------------------------------------------------
+# Structural inverters
+# ---------------------------------------------------------------------------
+
+
+@_inverter("transpose")
+def _invert_transpose(call, pos, args, target, hole_type):
+    axes = call.attr("axes")
+    rank = len(hole_type.shape)
+    if axes is None:
+        perm = tuple(reversed(range(rank)))
+    else:
+        perm = tuple(ax % rank for ax in axes)
+    inverse = [0] * rank
+    for i, ax in enumerate(perm):
+        inverse[ax] = i
+    if len(target.shape) != rank:
+        return None
+    return SymTensor(np.transpose(target.data, axes=inverse), target.dtype)
+
+
+@_inverter("reshape")
+def _invert_reshape(call, pos, args, target, hole_type):
+    if target.size != hole_type.size:
+        return None
+    return SymTensor(np.reshape(target.data, hole_type.shape), target.dtype)
+
+
+@_inverter("triu")
+def _invert_triu(call, pos, args, target, hole_type):
+    for idx in np.ndindex(*target.shape):
+        if idx[-2] > idx[-1] and not _is_zero(target.data[idx]):
+            return None
+    return target
+
+
+@_inverter("tril")
+def _invert_tril(call, pos, args, target, hole_type):
+    for idx in np.ndindex(*target.shape):
+        if idx[-2] < idx[-1] and not _is_zero(target.data[idx]):
+            return None
+    return target
+
+
+@_inverter("full")
+def _invert_full(call, pos, args, target, hole_type):
+    entries = [canonical(e) for e in target.entries()]
+    first = entries[0]
+    if any(e != first for e in entries[1:]):
+        return None
+    return SymTensor(np.array(first, dtype=object), target.dtype)
+
+
+@_inverter("where")
+def _invert_where(call, pos, args, target, hole_type):
+    if pos == 0:
+        return None  # synthesizing conditions is out of scope
+    cond = args[0]
+    if cond is None or target.shape != hole_type.shape:
+        return None
+    cond_b = _broadcast_obj(cond, target.shape) if cond.shape != target.shape else cond.data
+    out = np.empty(target.shape, dtype=object)
+    it = np.ndindex(*target.shape) if target.shape else [()]
+    for idx in it:
+        c = cond_b[idx] if target.shape else cond_b.item()
+        t = target.data[idx] if target.shape else target.item()
+        wanted = (c is sp.true or c is True) if pos == 1 else (c is sp.false or c is False)
+        unconstrained = (c is sp.false or c is False) if pos == 1 else (c is sp.true or c is True)
+        if wanted:
+            value = t
+        elif unconstrained:
+            value = sp.S.Zero  # don't-care slot: pick zero (lowers density)
+        else:
+            # Symbolic condition: the spec entry must be a matching Piecewise.
+            if not isinstance(t, sp.Piecewise) or len(t.args) != 2:
+                return None
+            (val_true, tcond), (val_false, _) = t.args
+            if tcond != c:
+                return None
+            value = val_true if pos == 1 else val_false
+        if target.shape:
+            out[idx] = value
+        else:
+            out = np.array(value, dtype=object)
+    return _canonical_tensor(out)
+
+
+# ---------------------------------------------------------------------------
+# Reduction inverter: index-hinted term splitting
+# ---------------------------------------------------------------------------
+
+
+def _term_position_hints(term: sp.Expr, positions: list[tuple[int, ...]],
+                         out_index: tuple[int, ...], axis: int | None) -> list[tuple[int, ...]]:
+    """Candidate hole positions for one additive term, from symbol origins.
+
+    For ``sum(??, axis=1)`` against ``diag(A @ B)`` the entry at output index
+    ``(i,)`` is ``Σ_k A[i,k]·B[k,i]``; the term ``A[i,k]·B[k,i]`` mentions
+    ``k`` in its symbols' element indices, which pins it to hole position
+    ``(i, k)``.  Symbols are scanned in input-name order so decompositions
+    stay coherent across entries (crucial for the subsequent stub match).
+    """
+    hints: list[tuple[int, ...]] = []
+    symbols = sorted(input_symbols_of(term), key=lambda s: s.name)
+    position_set = set(positions)
+    for s in symbols:
+        origin = symbol_origin(s)
+        if origin is None:
+            continue
+        _, oidx = origin
+        if axis is None:
+            if tuple(oidx) in position_set:
+                hints.append(tuple(oidx))
+        else:
+            # position = out_index with one coordinate inserted at `axis`.
+            for p in positions:
+                if p[axis:axis + 1] and len(oidx) >= 1 and p[axis] in oidx and p not in hints:
+                    hints.append(p)
+            break  # a single symbol's coordinates are enough for the axis case
+    return hints
+
+
+@_inverter("sum")
+def _invert_sum(call, pos, args, target, hole_type):
+    axis = call.attr("axis")
+    hole_shape = hole_type.shape
+    if axis is not None:
+        axis = axis % len(hole_shape)
+    out = np.zeros(hole_shape, dtype=object)
+    out[...] = sp.S.Zero
+    for out_idx in np.ndindex(*target.shape) if target.shape else [()]:
+        entry = canonical(target.data[out_idx] if target.shape else target.item())
+        if axis is None:
+            positions = list(np.ndindex(*hole_shape))
+        else:
+            positions = [
+                out_idx[:axis] + (p,) + out_idx[axis:] for p in range(hole_shape[axis])
+            ]
+        terms = list(sp.Add.make_args(entry))
+        taken: set[tuple[int, ...]] = set()
+        fallback_cursor = 0
+        for term in terms:
+            hints = _term_position_hints(term, positions, out_idx, axis)
+            slot = next((h for h in hints if h not in taken), None)
+            if slot is None:
+                slot = next((h for h in hints), None)
+            if slot is None:
+                # No index hint: round-robin over free positions.
+                free = [p for p in positions if p not in taken]
+                slot = free[0] if free else positions[fallback_cursor % len(positions)]
+                fallback_cursor += 1
+            taken.add(slot)
+            out[slot] = out[slot] + term
+    # Correct by construction: entries at each output index sum to the spec.
+    return _canonical_tensor(out)
+
+
+# ---------------------------------------------------------------------------
+# Contraction inverters: coefficient extraction + verification
+# ---------------------------------------------------------------------------
+
+
+def _all_distinct_symbols(t: SymTensor) -> bool:
+    entries = list(t.entries())
+    return all(isinstance(e, sp.Symbol) for e in entries) and len(set(entries)) == len(entries)
+
+
+def _verify_tensor_equal(candidate: np.ndarray, target: SymTensor) -> bool:
+    cand = np.asarray(candidate, dtype=object)
+    if cand.shape != target.shape:
+        return False
+    it = np.ndindex(*target.shape) if target.shape else [()]
+    for idx in it:
+        a = cand[idx] if target.shape else cand.item()
+        b = target.data[idx] if target.shape else target.item()
+        if canonical(sp.expand(a)) != canonical(b):
+            return False
+    return True
+
+
+@_inverter("dot")
+def _invert_dot(call, pos, args, target, hole_type):
+    other = args[1 - pos]
+    if other is None:
+        return None
+    hole_shape = hole_type.shape
+    # Scalar-operand dot degenerates to elementwise multiply.
+    if other.shape == () or hole_shape == ():
+        return _elementwise_invert(_safe_div, target, other, hole_type)
+    if not _all_distinct_symbols(other):
+        return None  # compound known arg: handled by the generic fallback
+    diff_cache: dict[tuple, sp.Expr] = {}
+
+    def d(expr: sp.Expr, sym: sp.Symbol) -> sp.Expr:
+        key = (expr, sym)
+        hit = diff_cache.get(key)
+        if hit is None:
+            hit = sp.diff(sp.expand(expr), sym)
+            diff_cache[key] = hit
+        return hit
+
+    hole = np.empty(hole_shape, dtype=object)
+    try:
+        if pos == 0:
+            b = other.data
+            k = hole_shape[-1]
+            lead = hole_shape[:-1]
+            for lidx in np.ndindex(*lead) if lead else [()]:
+                for kk in range(k):
+                    if b.ndim == 1:
+                        t_entry = target.data[lidx] if lead else target.item()
+                        hole[lidx + (kk,)] = d(t_entry, b[kk])
+                    else:
+                        probe = lidx + (0,) * (target.data.ndim - len(lidx))
+                        hole[lidx + (kk,)] = d(target.data[probe], b[(kk,) + (0,) * (b.ndim - 1)])
+        else:
+            a = other.data
+            k = hole_shape[0]
+            trail = hole_shape[1:]
+            for tidx in np.ndindex(*trail) if trail else [()]:
+                for kk in range(k):
+                    if a.ndim == 1:
+                        t_entry = target.data[tidx] if trail else target.item()
+                        hole[(kk,) + tidx] = d(t_entry, a[kk])
+                    else:
+                        probe = (0,) * (a.ndim - 1)
+                        t_probe = probe + tidx
+                        hole[(kk,) + tidx] = d(
+                            target.data[t_probe] if target.shape else target.item(),
+                            a[probe + (kk,)],
+                        )
+    except (IndexError, ValueError):
+        return None
+    # Extraction is heuristic; verify sketch(hole) == target exactly.
+    if pos == 0:
+        product = np.dot(hole, other.data)
+    else:
+        product = np.dot(other.data, hole)
+    if not _verify_tensor_equal(product, target):
+        return None
+    return _canonical_tensor(hole)
+
+
+@_inverter("tensordot")
+def _invert_tensordot(call, pos, args, target, hole_type):
+    axes = call.attr("axes", 2)
+    other = args[1 - pos]
+    if other is None:
+        return None
+    if axes != 0:
+        return None  # contracting tensordots go through the generic fallback
+    # Outer product: target index splits into (hole part, other part).
+    h_rank = len(hole_type.shape)
+    o_rank = len(other.shape)
+    if len(target.shape) != h_rank + o_rank:
+        return None
+    hole = np.empty(hole_type.shape, dtype=object)
+    probe = None
+    for oidx in np.ndindex(*other.shape) if other.shape else [()]:
+        if not _is_zero(other.data[oidx] if other.shape else other.item()):
+            probe = oidx
+            break
+    if probe is None:
+        return None
+    o_val = other.data[probe] if other.shape else other.item()
+    for hidx in np.ndindex(*hole_type.shape) if hole_type.shape else [()]:
+        tidx = (hidx + probe) if pos == 0 else (probe + hidx)
+        entry = target.data[tidx] if target.shape else target.item()
+        value = sp.cancel(entry / o_val)
+        if pos == 0:
+            if hole_type.shape:
+                hole[hidx] = value
+            else:
+                hole = np.array(value, dtype=object)
+        else:
+            if hole_type.shape:
+                hole[hidx] = value
+            else:
+                hole = np.array(value, dtype=object)
+    product = np.tensordot(hole if pos == 0 else other.data,
+                           other.data if pos == 0 else hole, axes=0)
+    if not _verify_tensor_equal(product, target):
+        return None
+    return _canonical_tensor(hole)
+
+
+# ---------------------------------------------------------------------------
+# Generic fallback: fresh unknowns + sympy.solve
+# ---------------------------------------------------------------------------
+
+
+def _generic_solve(
+    sketch: Sketch, spec: SymTensor, config: SynthesisConfig
+) -> tuple[SymTensor, ...] | None:
+    """Bind every hole to fresh unknowns, execute the sketch symbolically,
+    and solve the elementwise equation system for the unknowns.
+
+    Handles any number of holes: with several holes, a solution exists only
+    when the system pins them all simultaneously (Algorithm 2's general
+    multi-hole case)."""
+    hole_types = [hole.type for hole in sketch.holes]
+    n_unknowns = sum(max(t.size, 1) for t in hole_types)
+    if n_unknowns > config.solver_max_unknowns:
+        return None
+    flat_syms = [sp.Symbol(f"_u{i}", real=True) for i in range(n_unknowns)]
+    bindings = {}
+    cursor = 0
+    for hole, hole_type in zip(sketch.holes, hole_types):
+        count = max(hole_type.size, 1)
+        chunk = flat_syms[cursor: cursor + count]
+        cursor += count
+        unknowns = np.empty(hole_type.shape, dtype=object)
+        if hole_type.shape:
+            unknowns.reshape(-1)[:] = chunk
+        else:
+            unknowns = np.array(chunk[0], dtype=object)
+        bindings[hole.name] = SymTensor(unknowns, hole_type.dtype)
+    try:
+        result = symbolic_execute(sketch.root, bindings=bindings)
+    except Exception:
+        return None
+    eqs = []
+    for got, want in zip(result.entries(), spec.entries()):
+        eqs.append(sp.expand(got - want))
+    try:
+        solutions = sp.solve(eqs, flat_syms, dict=True)
+    except Exception:
+        return None
+    if len(solutions) != 1:
+        return None
+    sol = solutions[0]
+    if len(sol) != len(flat_syms):
+        return None  # underdetermined: no canonical hole specification
+    values = []
+    for s in flat_syms:
+        v = sol[s]
+        if any(u in v.free_symbols for u in flat_syms):
+            return None
+        values.append(v)
+    out_specs = []
+    cursor = 0
+    for hole_type in hole_types:
+        count = max(hole_type.size, 1)
+        chunk = values[cursor: cursor + count]
+        cursor += count
+        out = np.empty(hole_type.shape, dtype=object)
+        if hole_type.shape:
+            out.reshape(-1)[:] = chunk
+        else:
+            out = np.array(chunk[0], dtype=object)
+        out_specs.append(_canonical_tensor(out))
+    return tuple(out_specs)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+class SketchSolver:
+    """Solves ``sketch(??) = spec`` queries with caching of sibling values."""
+
+    def __init__(self, config: SynthesisConfig | None = None) -> None:
+        self.config = config or SynthesisConfig()
+        self._value_cache: dict[Node, SymTensor] = {}
+
+    def _value(self, node: Node) -> SymTensor:
+        hit = self._value_cache.get(node)
+        if hit is None:
+            hit = symbolic_execute(node)
+            self._value_cache[node] = hit
+        return hit
+
+    def solve_all(self, sketch: Sketch, spec: SymTensor) -> tuple[SymTensor, ...] | None:
+        """One hole specification per hole (Algorithm 2's SOLVE), or None."""
+        if sketch.num_holes == 1:
+            single = self.solve(sketch, spec)
+            return None if single is None else (single,)
+        if not self.config.solver_generic_fallback:
+            return None
+        result = _generic_solve(sketch, spec, self.config)
+        if result is not None and self.config.verify_decompositions:
+            bindings = {h.name: s for h, s in zip(sketch.holes, result)}
+            try:
+                got = symbolic_execute(sketch.root, bindings=bindings)
+            except Exception:
+                return None
+            from repro.symexec.canonical import canonical_key, equivalent
+
+            if canonical_key(got) != canonical_key(spec) and not equivalent(got, spec):
+                return None
+        return result
+
+    def solve(self, sketch: Sketch, spec: SymTensor) -> SymTensor | None:
+        """Hole specification making a single-hole sketch equal to ``spec``."""
+        target = spec
+        node: Node = sketch.root
+        for step in sketch.hole_path:
+            if not isinstance(node, Call):
+                return None
+            inverter = _INVERTERS.get(node.op)
+            if inverter is None:
+                if self.config.solver_generic_fallback:
+                    result = _generic_solve(sketch, spec, self.config)
+                    return result[0] if result else None
+                return None
+            siblings: list[SymTensor | None] = []
+            for i, arg in enumerate(node.args):
+                siblings.append(None if i == step else self._value(arg))
+            hole_like = node.args[step]
+            try:
+                result = inverter(node, step, siblings, target, hole_like.type)
+            except Exception:
+                return None
+            if result is None:
+                return None
+            target = result
+            node = node.args[step]
+        if target.shape != sketch.hole.type.shape:
+            return None
+        if self.config.verify_decompositions and not self._decomposition_holds(
+            sketch, target, spec
+        ):
+            return None
+        return target
+
+    def _decomposition_holds(self, sketch: Sketch, hole_spec: SymTensor, spec: SymTensor) -> bool:
+        """Re-execute the sketch with the hole bound and compare to the spec.
+
+        Local inverters are individually sound, but this end-to-end check is
+        the safety net that keeps any heuristic extraction from poisoning
+        the branch-and-bound bound with an invalid low-cost candidate.
+        """
+        try:
+            result = symbolic_execute(sketch.root, bindings={sketch.hole.name: hole_spec})
+        except Exception:
+            return False
+        from repro.symexec.canonical import canonical_key, equivalent
+
+        if canonical_key(result) == canonical_key(spec):
+            return True
+        return equivalent(result, spec)

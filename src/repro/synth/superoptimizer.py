@@ -1,0 +1,232 @@
+"""The STENSO driver (paper Algorithm 1) and its public result type.
+
+``superoptimize_program`` runs the full pipeline on a parsed program:
+
+1. estimate the input program's cost (the initial branch-and-bound bound);
+2. symbolically execute it into the target specification Φ;
+3. enumerate stubs and sketches (Section IV-B);
+4. run the DFS of Algorithm 2;
+5. verify the winning candidate numerically and symbolically, and return the
+   original program unless a strictly cheaper verified candidate was found.
+
+``superoptimize_source`` is the string-level convenience wrapper used by the
+public API and the CLI.  It synthesizes at *shrunken* shapes (tractable for
+SymPy) and re-verifies the result at the original shapes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.cost import CostModel, make_cost_model
+from repro.errors import StensoError, SynthesisTimeout, VerificationError
+from repro.ir.evaluator import evaluate, random_inputs
+from repro.ir.nodes import Call, Node
+from repro.ir.parser import Program, parse
+from repro.ir.printer import to_callable, to_source
+from repro.ir.types import TensorType, shrink_shape
+from repro.symexec.canonical import canonical, equivalent
+from repro.symexec.engine import symbolic_execute
+from repro.synth.complexity import spec_complexity
+from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.synth.library import build_library
+from repro.synth.search import SearchContext, SearchStats, dfs
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one superoptimization run."""
+
+    program: Program
+    optimized: Node
+    improved: bool
+    original_cost: float
+    optimized_cost: float
+    verified: bool
+    stats: SearchStats
+    synthesis_seconds: float
+
+    @property
+    def optimized_source(self) -> str:
+        return to_source(self.optimized, name=self.program.name, input_names=self.program.input_names)
+
+    @property
+    def speedup_estimate(self) -> float:
+        """Cost-model speedup estimate (original / optimized)."""
+        if self.optimized_cost <= 0:
+            return 1.0
+        return self.original_cost / self.optimized_cost
+
+    def summary(self) -> str:
+        verdict = "improved" if self.improved else "unchanged"
+        return (
+            f"{self.program.name}: {verdict}; cost {self.original_cost:.3g} -> "
+            f"{self.optimized_cost:.3g} (est. {self.speedup_estimate:.2f}x), "
+            f"{self.synthesis_seconds:.2f}s, {self.stats.nodes_expanded} nodes"
+        )
+
+
+def _contains_shape_attrs(node: Node) -> bool:
+    return any(
+        isinstance(n, Call) and n.attr("shape") is not None for n in node.walk()
+    )
+
+
+def verify_candidate(
+    program: Program, candidate: Node, config: SynthesisConfig
+) -> bool:
+    """Check candidate == program numerically (and symbolically if enabled)."""
+    rng = np.random.default_rng(2024)
+    for _ in range(max(config.verify_numeric_trials, 1)):
+        env = random_inputs(program.input_types, rng=rng)
+        try:
+            expected = evaluate(program.node, env)
+            got = evaluate(candidate, env)
+        except Exception as exc:
+            raise VerificationError(f"candidate evaluation failed: {exc}") from exc
+        if np.asarray(got).shape != np.asarray(expected).shape:
+            return False
+        if not np.allclose(
+            np.asarray(got, dtype=float), np.asarray(expected, dtype=float),
+            rtol=1e-8, atol=1e-10,
+        ):
+            return False
+    if config.verify_symbolic:
+        try:
+            if not equivalent(symbolic_execute(candidate), symbolic_execute(program.node)):
+                return False
+        except StensoError:
+            return False
+    return True
+
+
+def superoptimize_program(
+    program: Program,
+    cost_model: CostModel | str = "flops",
+    config: SynthesisConfig | None = None,
+) -> SynthesisResult:
+    """Run Algorithm 1 on a parsed program."""
+    config = config or DEFAULT_CONFIG
+    if isinstance(cost_model, str):
+        cost_model = make_cost_model(cost_model)
+    start = time.monotonic()
+
+    cost_min = cost_model.program_cost(program.node)  # line 2
+    spec = symbolic_execute(program.node).map(canonical)  # line 3
+    library = build_library(program, config, cost_model)  # line 4
+    score = spec_complexity(spec, config.complexity_mode)  # line 5
+
+    ctx = SearchContext(library, cost_model, config, cost_min)
+    try:
+        result, result_cost = dfs(spec, score, 0, 0.0, ctx)  # line 6
+    except SynthesisTimeout:
+        result, result_cost = None, float("inf")
+    elapsed = time.monotonic() - start
+    ctx.stats.elapsed_seconds = elapsed
+
+    # Line 7, with the model's noise floor: a measured model only declares
+    # victory when the candidate beats the original by more than its margin.
+    threshold = cost_min * (1.0 - cost_model.decision_margin)
+    improved = result is not None and result_cost < threshold
+    verified = False
+    if improved:
+        assert result is not None
+        verified = verify_candidate(program, result, config)
+        improved = verified
+    if not improved:
+        result, result_cost = program.node, cost_min  # line 10
+
+    assert result is not None
+    return SynthesisResult(
+        program=program,
+        optimized=result,
+        improved=improved,
+        original_cost=cost_min,
+        optimized_cost=result_cost if improved else cost_min,
+        verified=verified or not improved,
+        stats=ctx.stats,
+        synthesis_seconds=elapsed,
+    )
+
+
+def _as_type(value) -> TensorType:
+    """Accept either a TensorType or a bare shape tuple (float assumed)."""
+    from repro.ir.types import DType
+
+    if isinstance(value, TensorType):
+        return value
+    return TensorType(DType.FLOAT, tuple(value))
+
+
+def superoptimize_source(
+    source: str,
+    inputs: Mapping[str, TensorType | tuple[int, ...]],
+    cost_model: CostModel | str = "flops",
+    config: SynthesisConfig | None = None,
+    name: str = "program",
+    shrink: int | None = 3,
+) -> SynthesisResult:
+    """Superoptimize NumPy source, synthesizing at shrunken shapes.
+
+    ``shrink`` caps every tensor dimension during synthesis (None disables).
+    The synthesized program is rejected unless it verifies at the *original*
+    shapes too, guarding against rewrites only valid at the shrunken sizes.
+    """
+    config = config or DEFAULT_CONFIG
+    types = {n: _as_type(t) for n, t in inputs.items()}
+
+    synth_types = types
+    if shrink is not None:
+        candidate_types = {
+            n: t.with_shape(shrink_shape(t.shape, shrink)) for n, t in types.items()
+        }
+        try:
+            parse(source, candidate_types, name=name)
+            synth_types = candidate_types
+        except StensoError:
+            synth_types = types  # literal shape attrs forbid shrinking
+
+    synth_program = parse(source, synth_types, name=name)
+    result = superoptimize_program(synth_program, cost_model=cost_model, config=config)
+
+    if result.improved and synth_types is not types:
+        # Re-verify at original shapes; programs with embedded (shrunken)
+        # shape attributes cannot be transported and are rejected outright.
+        if _contains_shape_attrs(result.optimized):
+            return _fallback_to_original(result, source, types, name)
+        full_program = parse(source, types, name=name)
+        optimized_fn = to_callable(result.optimized, input_names=full_program.input_names)
+        rng = np.random.default_rng(7)
+        for _ in range(max(config.verify_numeric_trials, 1)):
+            env = random_inputs(full_program.input_types, rng=rng)
+            expected = evaluate(full_program.node, env)
+            try:
+                got = optimized_fn(*[env[n] for n in full_program.input_names])
+            except Exception:
+                return _fallback_to_original(result, source, types, name)
+            if np.asarray(got).shape != np.asarray(expected).shape or not np.allclose(
+                np.asarray(got, dtype=float), np.asarray(expected, dtype=float),
+                rtol=1e-8, atol=1e-10,
+            ):
+                return _fallback_to_original(result, source, types, name)
+    return result
+
+
+def _fallback_to_original(
+    result: SynthesisResult, source: str, types: dict[str, TensorType], name: str
+) -> SynthesisResult:
+    program = parse(source, types, name=name)
+    return SynthesisResult(
+        program=program,
+        optimized=program.node,
+        improved=False,
+        original_cost=result.original_cost,
+        optimized_cost=result.original_cost,
+        verified=True,
+        stats=result.stats,
+        synthesis_seconds=result.synthesis_seconds,
+    )

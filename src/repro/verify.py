@@ -1,0 +1,144 @@
+"""Unified semantic verification of program equivalence.
+
+STENSO's outputs are "correct by construction" through symbolic equivalence,
+but this reproduction layers defense in depth (every check independent):
+
+1. **numeric trials** — random positive inputs, direct interpretation;
+2. **symbolic equivalence** — SymPy specs of both programs compared;
+3. **shape transport** — the candidate re-verified at *other* shape
+   assignments, derived by consistently re-mapping every distinct dimension
+   (dimension-coincidence rewrites, e.g. one valid only for square inputs,
+   cannot survive a mapping that makes the dims differ).
+
+``verify_equivalence`` runs all applicable layers and returns a structured
+:class:`VerificationReport` saying exactly what was checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import StensoError
+from repro.ir.evaluator import evaluate, random_inputs
+from repro.ir.nodes import Call, Node
+from repro.ir.parser import Program, parse
+from repro.ir.printer import to_expression
+from repro.ir.types import TensorType
+
+
+@dataclass
+class VerificationReport:
+    """What was checked, and the verdict."""
+
+    passed: bool
+    numeric_trials: int = 0
+    symbolic_checked: bool = False
+    shape_sets_checked: int = 0
+    failure: str | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.passed
+
+
+def _fail(reason: str, **kwargs) -> VerificationReport:
+    return VerificationReport(passed=False, failure=reason, **kwargs)
+
+
+def jitter_shapes(
+    types: Mapping[str, TensorType], offsets: Sequence[int] = (1, 2)
+) -> list[dict[str, TensorType]]:
+    """Alternative shape assignments with all dimension identities preserved.
+
+    Every distinct dimension value ``d > 1`` maps to ``d + offset`` — equal
+    dims stay equal (so contractions still type-check), distinct dims stay
+    distinct (so coincidence rewrites break).
+    """
+    out = []
+    for offset in offsets:
+        mapped = {
+            name: t.with_shape(tuple(d + offset if d > 1 else d for d in t.shape))
+            for name, t in types.items()
+        }
+        out.append(mapped)
+    return out
+
+
+def _has_shape_attrs(node: Node) -> bool:
+    return any(isinstance(n, Call) and n.attr("shape") is not None for n in node.walk())
+
+
+def _numeric_agree(
+    reference: Node, candidate: Node, types: Mapping[str, TensorType],
+    trials: int, seed: int,
+) -> str | None:
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        env = random_inputs(types, rng=rng)
+        try:
+            want = np.asarray(evaluate(reference, env), dtype=float)
+            got = np.asarray(evaluate(candidate, env), dtype=float)
+        except Exception as exc:
+            return f"evaluation failed: {exc}"
+        if got.shape != want.shape:
+            return f"shape mismatch: {got.shape} vs {want.shape}"
+        if not np.allclose(got, want, rtol=1e-8, atol=1e-10):
+            return "numeric mismatch"
+    return None
+
+
+def verify_equivalence(
+    reference: Program,
+    candidate: Node,
+    numeric_trials: int = 3,
+    symbolic: bool = True,
+    shape_transport: bool = True,
+    seed: int = 1729,
+) -> VerificationReport:
+    """Check that ``candidate`` computes the same function as ``reference``."""
+    types = reference.input_types
+
+    reason = _numeric_agree(reference.node, candidate, types, numeric_trials, seed)
+    if reason is not None:
+        return _fail(reason, numeric_trials=numeric_trials)
+
+    symbolic_checked = False
+    if symbolic:
+        from repro.symexec import equivalent, symbolic_execute
+
+        try:
+            if not equivalent(symbolic_execute(candidate), symbolic_execute(reference.node)):
+                return _fail("symbolic specs differ", numeric_trials=numeric_trials)
+            symbolic_checked = True
+        except StensoError as exc:
+            return _fail(f"symbolic execution failed: {exc}", numeric_trials=numeric_trials)
+
+    shape_sets = 0
+    if shape_transport and reference.source and not _has_shape_attrs(candidate):
+        candidate_source = to_expression(candidate)
+        for alt_types in jitter_shapes(types):
+            try:
+                alt_reference = parse(reference.source, alt_types, name=reference.name)
+                alt_candidate = parse(candidate_source, alt_types).node
+            except StensoError:
+                continue  # shape-literal sources cannot transport; skip
+            reason = _numeric_agree(
+                alt_reference.node, alt_candidate, alt_types, max(numeric_trials - 1, 1), seed + 1
+            )
+            if reason is not None:
+                return _fail(
+                    f"failed at transported shapes: {reason}",
+                    numeric_trials=numeric_trials,
+                    symbolic_checked=symbolic_checked,
+                    shape_sets_checked=shape_sets,
+                )
+            shape_sets += 1
+
+    return VerificationReport(
+        passed=True,
+        numeric_trials=numeric_trials,
+        symbolic_checked=symbolic_checked,
+        shape_sets_checked=shape_sets,
+    )

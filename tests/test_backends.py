@@ -1,0 +1,161 @@
+"""Tests for the execution backends: NumPy eager and the simulated compilers.
+
+The essential property: all three backends compute the same function as the
+reference interpreter, on every benchmark of the suite, while the compiled
+simulations apply their documented rewrites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    ALL_BACKEND_NAMES,
+    InductorSimBackend,
+    NumPyBackend,
+    XLASimBackend,
+    compile_dag,
+    generate_source,
+    make_backend,
+)
+from repro.bench import ALL_BENCHMARKS
+from repro.ir import evaluate, float_tensor, parse, random_inputs
+from repro.ir.printer import to_expression
+
+TYPES = {"A": float_tensor(5, 5), "B": float_tensor(5, 5), "x": float_tensor(5)}
+
+
+def program_of(source, types=None):
+    return parse(source, types or TYPES)
+
+
+class TestFactory:
+    def test_names(self):
+        assert NumPyBackend().name == "numpy"
+        assert XLASimBackend().name == "jax"
+        assert InductorSimBackend().name == "pytorch"
+        for name in ALL_BACKEND_NAMES:
+            assert make_backend(name).name == name
+        with pytest.raises(ValueError):
+            make_backend("tpu")
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+@pytest.mark.parametrize("backend_name", ALL_BACKEND_NAMES)
+def test_backends_agree_with_reference(bench, backend_name):
+    program = bench.parse_synth()
+    env = random_inputs(program.input_types, rng=np.random.default_rng(13))
+    expected = np.asarray(evaluate(program.node, env), dtype=float)
+    got = np.asarray(make_backend(backend_name).run(program, env), dtype=float)
+    assert got.shape == expected.shape
+    assert np.allclose(got, expected)
+
+
+class TestCodegen:
+    def test_cse_in_generated_source(self):
+        program = program_of("(A * B) + (A * B)")
+        source = generate_source(program.node, ["A", "B"])
+        assert source.count("np.multiply") == 1  # shared subtree evaluated once
+
+    def test_generated_function_runs(self):
+        program = program_of("np.dot(A, B) + x")
+        fn = compile_dag(program.node, list(program.input_names))
+        env = random_inputs(program.input_types)
+        expected = env["A"] @ env["B"] + env["x"]
+        assert np.allclose(fn(env["A"], env["B"], env["x"]), expected)
+
+    def test_constant_only_program(self):
+        program = program_of("A - A")
+        fn = compile_dag(program.node, ["A"])
+        assert np.allclose(fn(np.ones((5, 5))), np.zeros((5, 5)))
+
+
+class TestXLARules:
+    backend = XLASimBackend()
+
+    def rewrite(self, source, types=None):
+        return self.backend.optimize(program_of(source, types).node)
+
+    def test_exp_log(self):
+        assert to_expression(self.rewrite("np.exp(np.log(A))")) == "A"
+        assert to_expression(self.rewrite("np.log(np.exp(A))")) == "A"
+
+    def test_double_transpose(self):
+        assert to_expression(self.rewrite("np.transpose(np.transpose(A))")) == "A"
+
+    def test_pow2_to_mul(self):
+        assert to_expression(self.rewrite("np.power(A, 2)")) == "(A * A)"
+
+    def test_pow1_identity(self):
+        assert to_expression(self.rewrite("np.power(A, 1)")) == "A"
+
+    def test_mul_one_add_zero(self):
+        assert to_expression(self.rewrite("A * 1 + 0")) == "A"
+
+    def test_reshape_merge(self):
+        out = self.rewrite("np.reshape(np.reshape(A, (25,)), (5, 5))")
+        assert to_expression(out) == "A"
+
+    def test_constant_folding(self):
+        out = self.rewrite("A * (2 + 3)")
+        assert "5" in to_expression(out)
+
+    def test_does_not_know_diag_identity(self):
+        """The incompleteness the paper exploits: no rule for diag(dot)."""
+        out = self.rewrite("np.diag(np.dot(A, B))")
+        assert "np.diag(np.dot" in to_expression(out)
+
+
+class TestInductorRules:
+    backend = InductorSimBackend()
+
+    def rewrite(self, source, types=None):
+        return self.backend.optimize(program_of(source, types).node)
+
+    def test_superset_of_xla(self):
+        from repro.backends import INDUCTOR_RULES, XLA_RULES
+
+        assert set(r.name for r in XLA_RULES) <= set(r.name for r in INDUCTOR_RULES)
+
+    def test_pow_neg_one(self):
+        assert to_expression(self.rewrite("np.power(A, -1)")) == "(1 / A)"
+
+    def test_sum_stack_decomposition(self):
+        out = self.rewrite("np.sum(np.stack([A, B, A]), axis=0)")
+        assert "np.stack" not in to_expression(out)
+
+    def test_max_stack_decomposition(self):
+        out = self.rewrite("np.max(np.stack([A, B]), axis=0)")
+        assert to_expression(out) == "np.maximum(A, B)"
+
+    def test_sum_sum_merge(self):
+        out = self.rewrite("np.sum(np.sum(A, axis=0), axis=0)")
+        assert to_expression(out) == "np.sum(A)"
+
+    def test_rewrites_preserve_semantics(self):
+        for source in (
+            "np.sum(np.stack([A, B, A]), axis=0)",
+            "np.max(np.stack([A, B]), axis=0)",
+            "np.power(A, -1) * B",
+        ):
+            program = program_of(source)
+            env = random_inputs(program.input_types, rng=np.random.default_rng(3))
+            expected = np.asarray(evaluate(program.node, env), dtype=float)
+            got = np.asarray(self.backend.run(program, env), dtype=float)
+            assert np.allclose(got, expected), source
+
+
+class TestNumPyBackend:
+    def test_executes_python_loops(self):
+        types = {"A": float_tensor(4), "x": float_tensor(3)}
+        bench_source = "np.stack([(x * a) for a in A])"
+        program = parse(bench_source, types)
+        fn = NumPyBackend().prepare(program)
+        a, x = np.random.rand(4), np.random.rand(3)
+        assert np.allclose(fn(a, x), np.stack([x * v for v in a]))
+
+    def test_prepares_function_definitions(self):
+        source = "def k(A):\n    t = A + A\n    return t * t\n"
+        program = parse(source, {"A": float_tensor(3)})
+        fn = NumPyBackend().prepare(program)
+        a = np.random.rand(3)
+        assert np.allclose(fn(a), (a + a) ** 2)

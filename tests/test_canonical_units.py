@@ -1,0 +1,103 @@
+"""Focused unit tests for canonicalization internals and SymTensor helpers."""
+
+import numpy as np
+import pytest
+import sympy as sp
+
+from repro.ir.types import DType, TensorType, float_tensor
+from repro.symexec.canonical import _needs_cancel, _piecewise_to_minmax, canonical
+from repro.symexec.symtensor import (
+    SymTensor,
+    element_symbol,
+    input_symbols_of,
+    symbols_by_input,
+)
+
+a, b = element_symbol("a", ()), element_symbol("b", ())
+
+
+class TestPiecewiseToMinMax:
+    def test_lt_max(self):
+        pw = sp.Piecewise((b, sp.Lt(a, b)), (a, True))
+        assert _piecewise_to_minmax(pw) == sp.Max(a, b)
+
+    def test_lt_min(self):
+        pw = sp.Piecewise((a, sp.Lt(a, b)), (b, True))
+        assert _piecewise_to_minmax(pw) == sp.Min(a, b)
+
+    def test_gt_max(self):
+        pw = sp.Piecewise((a, sp.Gt(a, b)), (b, True))
+        assert _piecewise_to_minmax(pw) == sp.Max(a, b)
+
+    def test_unrelated_branches_untouched(self):
+        pw = sp.Piecewise((a + 1, sp.Lt(a, b)), (b, True))
+        assert _piecewise_to_minmax(pw) == pw
+
+    def test_three_branches_untouched(self):
+        pw = sp.Piecewise((a, sp.Lt(a, 1)), (b, sp.Lt(a, 2)), (a * b, True))
+        assert _piecewise_to_minmax(pw) == pw
+
+    def test_nested_inside_expression(self):
+        expr = 2 * sp.Piecewise((b, sp.Lt(a, b)), (a, True)) + 1
+        assert _piecewise_to_minmax(expr) == 2 * sp.Max(a, b) + 1
+
+
+class TestNeedsCancel:
+    def test_polynomial_skips(self):
+        assert not _needs_cancel(a**2 + 2 * a * b)
+
+    def test_division_triggers(self):
+        assert _needs_cancel(a / b)
+
+    def test_sqrt_triggers(self):
+        assert _needs_cancel(sp.sqrt(a))
+
+    def test_plain_symbol_skips(self):
+        assert not _needs_cancel(a)
+
+
+class TestCanonical:
+    def test_expands(self):
+        assert canonical((a + b) ** 2) == a**2 + 2 * a * b + b**2
+
+    def test_cancels_division(self):
+        assert canonical((a * b) / b) == a
+
+    def test_idempotent(self):
+        e = (a + b) * (a - b) / (a + b)
+        once = canonical(e)
+        assert canonical(once) == once
+
+
+class TestSymTensorHelpers:
+    def test_symbols_by_input(self):
+        t = SymTensor.from_input("Q", float_tensor(2))
+        grouped = symbols_by_input(t.input_symbols())
+        assert set(grouped) == {"Q"}
+        assert len(grouped["Q"]) == 2
+
+    def test_input_symbols_of_ignores_foreign(self):
+        foreign = sp.Symbol("zzz")
+        assert input_symbols_of(foreign + a) == {a}
+
+    def test_from_value_rationalizes(self):
+        t = SymTensor.from_value(np.array([0.5, 2.0]))
+        entries = list(t.entries())
+        assert entries[0] == sp.Rational(1, 2)
+        assert entries[1] == sp.Integer(2)
+
+    def test_bool_from_value(self):
+        t = SymTensor.from_value(np.array([True, False]), DType.BOOL)
+        assert list(t.entries()) == [sp.true, sp.false]
+
+    def test_map_preserves_shape(self):
+        t = SymTensor.from_input("R", float_tensor(2, 2))
+        doubled = t.map(lambda e: 2 * e)
+        assert doubled.shape == (2, 2)
+        assert list(doubled.entries())[0] == 2 * element_symbol("R", (0, 0))
+
+    def test_scalar_tensor(self):
+        t = SymTensor.from_input("s", float_tensor())
+        assert t.shape == ()
+        assert t.item() == element_symbol("s", ())
+        assert t.density() == 1.0

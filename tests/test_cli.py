@@ -1,0 +1,109 @@
+"""Tests for the command-line interface (paper Appendix F)."""
+
+import numpy as np
+import pytest
+
+from repro.cli.main import build_parser, load_program_file, main, parse_shapes_flag
+from repro.ir.types import float_tensor
+
+
+class TestShapesFlag:
+    def test_basic(self):
+        shapes = parse_shapes_flag("A=64,64;B=64")
+        assert shapes == {"A": float_tensor(64, 64), "B": float_tensor(64)}
+
+    def test_scalar(self):
+        assert parse_shapes_flag("a=") == {"a": float_tensor()}
+
+    def test_whitespace_tolerant(self):
+        shapes = parse_shapes_flag(" A = 2 , 3 ; b = ")
+        assert shapes == {"A": float_tensor(2, 3), "b": float_tensor()}
+
+
+class TestProgramFile:
+    def test_shapes_dict_extracted(self, tmp_path):
+        f = tmp_path / "prog.py"
+        f.write_text(
+            "import numpy as np\n"
+            'SHAPES = {"A": (8, 8)}\n'
+            "def k(A):\n    return np.exp(np.log(A))\n"
+        )
+        source, shapes = load_program_file(f)
+        assert shapes == {"A": float_tensor(8, 8)}
+        assert "def k(A):" in source
+        assert "import" not in source
+
+    def test_expression_file(self, tmp_path):
+        f = tmp_path / "prog.py"
+        f.write_text("A + A\n")
+        source, shapes = load_program_file(f)
+        assert source.strip() == "A + A"
+        assert shapes is None
+
+
+class TestMain:
+    def test_list_benchmarks(self, capsys):
+        assert main(["--list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "diag_dot" in out and "synth_12" in out
+
+    def test_requires_program_or_benchmark(self, capsys):
+        assert main([]) == 2
+
+    def test_requires_shapes(self, tmp_path, capsys):
+        f = tmp_path / "p.py"
+        f.write_text("A + A\n")
+        assert main(["--program", str(f)]) == 2
+
+    def test_end_to_end_optimization(self, tmp_path, capsys):
+        f = tmp_path / "p.py"
+        f.write_text(
+            'SHAPES = {"A": (16, 16)}\n'
+            "def k(A):\n    return np.transpose(np.transpose(A))\n"
+        )
+        out_file = tmp_path / "opt.py"
+        code = main(
+            ["--program", str(f), "--synth_out", str(out_file), "--timeout", "60"]
+        )
+        assert code == 0
+        text = out_file.read_text()
+        assert "return A" in text
+        # The emitted file is a runnable module.
+        namespace: dict = {}
+        exec(text, namespace)
+        a = np.random.rand(4, 4)
+        assert np.allclose(namespace["k"](a), a)
+
+    def test_stdout_output_and_shapes_flag(self, tmp_path, capsys):
+        f = tmp_path / "p.py"
+        f.write_text("np.exp(np.log(A))\n")
+        code = main(["--program", str(f), "--shapes", "A=8,8", "--timeout", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "return A" in out
+
+    def test_benchmark_mode(self, capsys):
+        code = main(["--benchmark", "dot_trans_2", "--timeout", "60", "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "return A" in captured.out
+        assert "nodes_expanded" in captured.err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["--program", "x.py"])
+        assert args.cost_estimator == "flops"
+        assert args.timeout == 600.0
+        assert not args.no_branch_and_bound
+        assert not args.report
+
+    def test_report_flag(self, tmp_path, capsys):
+        f = tmp_path / "p.py"
+        f.write_text(
+            'SHAPES = {"A": (8, 8)}\n'
+            "def k(A):\n    return np.exp(np.log(A))\n"
+        )
+        code = main(["--program", str(f), "--timeout", "60", "--report"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "STENSO report" in err
+        assert "cost breakdown" in err

@@ -1,0 +1,111 @@
+"""Tests for the FLOPS and measured cost models and the dim mapper."""
+
+import json
+
+import pytest
+
+from repro.cost import CostModel, DimMapper, FlopsCostModel, MeasuredCostModel, make_cost_model
+from repro.cost.flops import NODE_EPSILON
+from repro.ir import float_tensor, parse
+
+TYPES = {"A": float_tensor(4, 4), "B": float_tensor(4, 4), "x": float_tensor(4)}
+
+
+def node_of(source):
+    return parse(source, TYPES).node
+
+
+class TestDimMapper:
+    def test_identity_by_default(self):
+        m = DimMapper()
+        assert m.is_identity
+        assert m.shape((3, 4)) == (3, 4)
+
+    def test_dim_map(self):
+        m = DimMapper({3: 384, 4: 512})
+        assert m.shape((3, 4)) == (384, 512)
+        assert m.dim(7) == 7  # unmapped dims untouched
+
+    def test_scale_skips_units(self):
+        m = DimMapper(scale=8)
+        assert m.shape((1, 3)) == (1, 24)
+
+    def test_cap(self):
+        m = DimMapper({2: 4096}, cap=128)
+        assert m.dim(2) == 128
+
+    def test_attrs_shape_mapped(self):
+        m = DimMapper({2: 64})
+        assert m.attrs({"shape": (2, 3), "axis": 1}) == {"shape": (64, 3), "axis": 1}
+
+
+class TestFlopsModel:
+    def test_dot_dominates_elementwise(self):
+        model = FlopsCostModel()
+        assert model.program_cost(node_of("np.dot(A, B)")) > model.program_cost(
+            node_of("A * B")
+        )
+
+    def test_epsilon_breaks_ties(self):
+        model = FlopsCostModel()
+        one = model.program_cost(node_of("np.transpose(A)"))
+        two = model.program_cost(node_of("np.transpose(np.transpose(A))"))
+        assert one == pytest.approx(NODE_EPSILON)
+        assert two == pytest.approx(2 * NODE_EPSILON)
+
+    def test_syntactic_duplication_costs_double(self):
+        model = FlopsCostModel()
+        assert model.program_cost(node_of("(A * B) + (A * B)")) == pytest.approx(
+            2 * model.program_cost(node_of("A * B")) + 16 + NODE_EPSILON
+        )
+
+    def test_dim_map_changes_asymptotics(self):
+        small = FlopsCostModel()
+        mapped = FlopsCostModel(dim_map={4: 400})
+        node = node_of("np.dot(A, B)")
+        assert mapped.program_cost(node) > 100 * small.program_cost(node)
+
+
+class TestMeasuredModel:
+    def test_measures_and_caches(self):
+        model = MeasuredCostModel()
+        node = node_of("A * B")
+        first = model.program_cost(node)
+        assert first > 0
+        assert model.table_size >= 1
+        assert model.program_cost(node) == first  # cache hit
+
+    def test_distinguishes_flop_equal_ops(self):
+        """The Section VI-C motivation: pow vs mul differ under measurement
+        (at sizes where NumPy does not special-case the exponent)."""
+        model = MeasuredCostModel(dim_map={4: 256})
+        pow_cost = model.program_cost(node_of("np.power(A, 2.5)"))
+        mul_cost = model.program_cost(node_of("A * B"))
+        assert pow_cost > mul_cost
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "table.json"
+        model = MeasuredCostModel(cache_path=path)
+        cost = model.program_cost(node_of("A + B"))
+        model.save()
+        reloaded = MeasuredCostModel(cache_path=path)
+        assert reloaded.program_cost(node_of("A + B")) == cost
+        assert json.loads(path.read_text())
+
+    def test_save_requires_path(self):
+        from repro.errors import CostModelError
+
+        with pytest.raises(CostModelError):
+            MeasuredCostModel().save()
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_cost_model("flops"), FlopsCostModel)
+        assert isinstance(make_cost_model("measured"), MeasuredCostModel)
+        with pytest.raises(ValueError):
+            make_cost_model("oracle")
+
+    def test_kwargs_forwarded(self):
+        model = make_cost_model("flops", dim_map={2: 20})
+        assert model.mapper.dim(2) == 20

@@ -1,0 +1,66 @@
+"""Tests for the IR interpreter and random-input generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StensoError
+from repro.ir import bool_tensor, evaluate, float_tensor, parse, random_inputs
+from repro.ir.types import DType
+
+TYPES = {"A": float_tensor(3, 4), "x": float_tensor(4)}
+
+
+class TestEvaluate:
+    def test_missing_input_raises(self):
+        program = parse("A + A", TYPES)
+        with pytest.raises(StensoError, match="missing input"):
+            evaluate(program.node, {})
+
+    def test_shared_subtrees_evaluated_once(self, monkeypatch):
+        import dataclasses
+
+        import repro.ir.ops as ops_module
+
+        calls = {"n": 0}
+        spec = ops_module.get_op("multiply")
+        original = spec.eval
+
+        def counting(args, attrs):
+            calls["n"] += 1
+            return original(args, attrs)
+
+        # OpSpec is frozen: swap the registry entry for a counting clone.
+        monkeypatch.setitem(
+            ops_module._REGISTRY, "multiply", dataclasses.replace(spec, eval=counting)
+        )
+        # structural sharing: the same (A*A) subtree twice
+        program = parse("(A * A) + (A * A)", TYPES)
+        env = random_inputs(program.input_types)
+        evaluate(program.node, env)
+        assert calls["n"] == 1
+
+    def test_extra_env_entries_ignored(self):
+        program = parse("x + x", TYPES)
+        env = random_inputs(TYPES)  # includes unused A
+        out = evaluate(program.node, env)
+        assert out.shape == (4,)
+
+
+class TestRandomInputs:
+    def test_positive_by_default(self):
+        env = random_inputs(TYPES, rng=np.random.default_rng(1))
+        for value in env.values():
+            assert np.all(value > 0)
+
+    def test_bool_inputs(self):
+        env = random_inputs({"M": bool_tensor(5, 5)}, rng=np.random.default_rng(2))
+        assert env["M"].dtype == np.bool_
+
+    def test_custom_range(self):
+        env = random_inputs({"A": float_tensor(100)}, low=3.0, high=4.0)
+        assert np.all((env["A"] >= 3.0) & (env["A"] < 4.0))
+
+    def test_deterministic_with_seed(self):
+        a = random_inputs(TYPES, rng=np.random.default_rng(9))
+        b = random_inputs(TYPES, rng=np.random.default_rng(9))
+        assert np.array_equal(a["A"], b["A"])

@@ -1,0 +1,35 @@
+"""The shipped examples must at least compile; the fastest one also runs."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "c.pyc"), doraise=True)
+
+
+def test_rule_mining_example_runs():
+    """The fastest end-to-end example doubles as an integration test."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "rule_mining.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "mined rule" in result.stdout
+    assert "extended XLA-sim output: np.sum((P * Q))" in result.stdout

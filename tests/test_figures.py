@@ -1,0 +1,142 @@
+"""Tests for the figure regenerators, using a fabricated store (no timing)."""
+
+import pytest
+
+from repro.backends import ALL_BACKEND_NAMES
+from repro.bench import (
+    ALL_BENCHMARKS,
+    TRANSFORMATION_CLASSES,
+    SynthesisStore,
+    evaluate_benchmark,
+    fig4_speedups,
+    fig6_class_counts,
+    fig7_class_speedups,
+    fig8_detailed,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    get_benchmark,
+)
+from repro.bench.figures import BenchmarkEvaluation
+from repro.bench.runner import Measurement
+from repro.bench.store import SynthesisRecord
+
+
+def fake_record(bench, improved=True, optimized="A + B"):
+    source = f"def {bench.name}({', '.join(bench.parse_synth().input_names)}):\n"
+    source += f"    return {optimized}\n"
+    return SynthesisRecord(
+        benchmark=bench.name,
+        cost_model="measured",
+        config="default",
+        improved=improved,
+        optimized_source=source,
+        synthesis_seconds=1.5,
+        original_cost=10.0,
+        optimized_cost=5.0 if improved else 10.0,
+        stats={"timed_out": False},
+    )
+
+
+def fake_eval(name, speedups, improved=True):
+    bench = get_benchmark(name)
+    measurements = [
+        Measurement(name, backend, original_seconds=s, optimized_seconds=1.0, improved=improved)
+        for backend, s in zip(ALL_BACKEND_NAMES, speedups)
+    ]
+    return BenchmarkEvaluation(
+        benchmark=bench,
+        record=fake_record(bench, improved=improved),
+        measurements=measurements,
+        transformation_class=bench.transformation_class,
+    )
+
+
+@pytest.fixture
+def evaluations():
+    # Three fabricated evaluations with known speedups.
+    return [
+        fake_eval("diag_dot", (4.0, 2.0, 2.0)),
+        fake_eval("log_exp_1", (9.0, 2.0, 0.5)),
+        fake_eval("synth_3", (1.0, 1.0, 1.0), improved=False),
+    ]
+
+
+class TestFig4:
+    def test_geomean_per_backend(self, evaluations):
+        out = fig4_speedups(evaluations)
+        assert out["numpy"] == pytest.approx((4.0 * 9.0 * 1.0) ** (1 / 3))
+        assert out["jax"] == pytest.approx((2.0 * 2.0 * 1.0) ** (1 / 3))
+
+    def test_format_contains_paper_reference(self, evaluations):
+        text = format_fig4(fig4_speedups(evaluations))
+        assert "paper" in text and "numpy" in text
+
+
+class TestFig6:
+    def test_counts_only_improved(self, evaluations):
+        counts = fig6_class_counts(evaluations)
+        assert counts["Identity Replacement"] == 2  # diag_dot + log_exp_1
+        assert counts["Algebraic Simplification"] == 0  # synth_3 unimproved
+        assert set(counts) == set(TRANSFORMATION_CLASSES)
+
+    def test_format(self, evaluations):
+        assert "Identity Replacement" in format_fig6(fig6_class_counts(evaluations))
+
+
+class TestFig7:
+    def test_class_grouping(self, evaluations):
+        out = fig7_class_speedups(evaluations)
+        assert out["Identity Replacement"]["numpy"] == pytest.approx(6.0)  # gm(4, 9)
+        assert out["Algebraic Simplification"]["numpy"] == 1.0
+
+    def test_format(self, evaluations):
+        assert "numpy" in format_fig7(fig7_class_speedups(evaluations))
+
+
+class TestFig8:
+    def test_rows(self, evaluations):
+        rows = fig8_detailed(evaluations)
+        by_name = {r["benchmark"]: r for r in rows}
+        assert by_name["diag_dot"]["numpy"] == 4.0
+        assert by_name["synth_3"]["improved"] is False
+
+    def test_format_sorted_by_class(self, evaluations):
+        text = format_fig8(fig8_detailed(evaluations))
+        # Alphabetical by class: Algebraic (synth_3) before Identity rows.
+        assert text.index("synth_3") < text.index("diag_dot")
+
+
+class TestFig5Format:
+    def test_marks_timeouts(self):
+        rows = [
+            {
+                "benchmark": "x",
+                "default": 1.0,
+                "default_timed_out": False,
+                "simplification_only": 600.0,
+                "simplification_only_timed_out": True,
+                "bottom_up": 60.0,
+                "bottom_up_timed_out": True,
+            }
+        ]
+        text = format_fig5(rows)
+        assert "600.0*" in text
+        assert " 1.0 " in text or "1.0" in text
+
+
+class TestEvaluateBenchmark:
+    def test_no_measure_mode(self, tmp_path):
+        store = SynthesisStore(tmp_path / "s.json")
+        bench = get_benchmark("log_exp_1")
+        store.put(fake_record(bench, improved=True, optimized="(A + B)"))
+        out = evaluate_benchmark(bench, store, cost_model="measured", measure=False)
+        assert out.measurements == []
+        assert out.record.improved
+        assert out.transformation_class == "Identity Replacement"
+
+    def test_speedup_lookup_raises_for_unknown_backend(self, evaluations):
+        with pytest.raises(KeyError):
+            evaluations[0].speedup("tpu")

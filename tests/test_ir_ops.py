@@ -1,0 +1,232 @@
+"""Unit tests for the op registry: typing, evaluation, FLOP counts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeInferenceError, UnsupportedOpError
+from repro.ir.nodes import Call, Const, Input
+from repro.ir.ops import all_ops, get_op, grammar_ops, has_op
+from repro.ir.types import DType, bool_tensor, float_tensor
+
+
+def n(name, *shape):
+    return Input(name, float_tensor(*shape))
+
+
+class TestRegistry:
+    def test_unknown_op(self):
+        with pytest.raises(UnsupportedOpError):
+            get_op("conv2d")
+        assert not has_op("conv2d")
+
+    def test_grammar_ops_match_figure3(self):
+        names = {op.name for op in grammar_ops()}
+        assert names == {
+            "full", "triu", "tril", "sum", "transpose", "sqrt",
+            "add", "subtract", "multiply", "divide", "dot", "tensordot",
+            "power", "where", "less",
+        }
+
+    def test_every_op_has_positive_arity_or_variadic(self):
+        for op in all_ops():
+            assert op.arity >= 1 or op.arity == -1
+
+
+class TestElementwiseTyping:
+    def test_add_broadcast(self):
+        node = Call("add", (n("A", 3, 1), n("B", 4)))
+        assert node.type == float_tensor(3, 4)
+
+    def test_scalar_broadcast(self):
+        assert Call("multiply", (n("a"), n("B", 5))).type == float_tensor(5)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            Call("add", (n("A", 3), n("B", 4)))
+
+    def test_bool_operand_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            Call("add", (Input("M", bool_tensor(3)), n("B", 3)))
+
+    def test_less_produces_bool(self):
+        node = Call("less", (n("A", 2, 2), n("B", 2, 2)))
+        assert node.type == bool_tensor(2, 2)
+
+    def test_where_types(self):
+        cond = Input("M", bool_tensor(2, 2))
+        node = Call("where", (cond, n("A", 2, 2), n("B", 2, 2)))
+        assert node.type == float_tensor(2, 2)
+        with pytest.raises(TypeInferenceError):
+            Call("where", (n("A", 2, 2), n("A", 2, 2), n("B", 2, 2)))
+
+
+class TestContractionTyping:
+    def test_dot_matmat(self):
+        assert Call("dot", (n("A", 2, 3), n("B", 3, 4))).type == float_tensor(2, 4)
+
+    def test_dot_matvec(self):
+        assert Call("dot", (n("A", 2, 3), n("x", 3))).type == float_tensor(2)
+
+    def test_dot_inner(self):
+        assert Call("dot", (n("x", 3), n("y", 3))).type == float_tensor()
+
+    def test_dot_vecmat(self):
+        assert Call("dot", (n("x", 2), n("A", 2, 5))).type == float_tensor(5)
+
+    def test_dot_scalar_is_multiply(self):
+        assert Call("dot", (n("a"), n("B", 3, 3))).type == float_tensor(3, 3)
+
+    def test_dot_highdim(self):
+        node = Call("dot", (n("A", 2, 3, 1, 4), n("B", 4, 5)))
+        assert node.type == float_tensor(2, 3, 1, 5)
+
+    def test_dot_mismatch(self):
+        with pytest.raises(TypeInferenceError):
+            Call("dot", (n("A", 2, 3), n("B", 4, 2)))
+
+    def test_tensordot_outer(self):
+        node = Call("tensordot", (n("x", 3), n("y", 4)), axes=0)
+        assert node.type == float_tensor(3, 4)
+
+    def test_tensordot_contract(self):
+        node = Call("tensordot", (n("A", 2, 3), n("B", 3, 4)), axes=((1,), (0,)))
+        assert node.type == float_tensor(2, 4)
+
+    def test_tensordot_mismatch(self):
+        with pytest.raises(TypeInferenceError):
+            Call("tensordot", (n("A", 2, 3), n("B", 4, 4)), axes=((1,), (0,)))
+
+
+class TestStructuralTyping:
+    def test_sum_axes(self):
+        assert Call("sum", (n("A", 2, 3),)).type == float_tensor()
+        assert Call("sum", (n("A", 2, 3),), axis=0).type == float_tensor(3)
+        assert Call("sum", (n("A", 2, 3),), axis=-1).type == float_tensor(2)
+
+    def test_transpose_default(self):
+        assert Call("transpose", (n("A", 2, 3),)).type == float_tensor(3, 2)
+
+    def test_transpose_axes(self):
+        node = Call("transpose", (n("A", 2, 3, 4),), axes=(1, 0, 2))
+        assert node.type == float_tensor(3, 2, 4)
+
+    def test_transpose_bad_axes(self):
+        with pytest.raises(TypeInferenceError):
+            Call("transpose", (n("A", 2, 3),), axes=(0, 0))
+
+    def test_reshape(self):
+        assert Call("reshape", (n("A", 2, 6),), shape=(3, 4)).type == float_tensor(3, 4)
+        assert Call("reshape", (n("A", 2, 6),), shape=(-1,)).type == float_tensor(12)
+        with pytest.raises(TypeInferenceError):
+            Call("reshape", (n("A", 2, 6),), shape=(5, 5))
+
+    def test_diag_both_directions(self):
+        assert Call("diag", (n("A", 4, 4),)).type == float_tensor(4)
+        assert Call("diag", (n("x", 4),)).type == float_tensor(4, 4)
+
+    def test_trace(self):
+        assert Call("trace", (n("A", 3, 5),)).type == float_tensor()
+        with pytest.raises(TypeInferenceError):
+            Call("trace", (n("x", 3),))
+
+    def test_stack(self):
+        node = Call("stack", (n("A", 2, 3), n("B", 2, 3)), axis=0)
+        assert node.type == float_tensor(2, 2, 3)
+        node = Call("stack", (n("A", 2, 3), n("B", 2, 3)), axis=1)
+        assert node.type == float_tensor(2, 2, 3)
+        with pytest.raises(TypeInferenceError):
+            Call("stack", (n("A", 2), n("B", 3)))
+
+    def test_full(self):
+        assert Call("full", (n("a"),), shape=(2, 2)).type == float_tensor(2, 2)
+        with pytest.raises(TypeInferenceError):
+            Call("full", (n("A", 3),), shape=(2,))
+
+    def test_index(self):
+        assert Call("index", (n("A", 3, 4),), i=1).type == float_tensor(4)
+        with pytest.raises(TypeInferenceError):
+            Call("index", (n("A", 3),), i=5)
+
+    def test_triu_requires_matrix(self):
+        with pytest.raises(TypeInferenceError):
+            Call("triu", (n("x", 3),))
+
+
+class TestEvaluation:
+    """Op eval must agree with the NumPy function it names."""
+
+    rng = np.random.default_rng(0)
+
+    @pytest.mark.parametrize(
+        "op, args, ref",
+        [
+            ("add", 2, np.add),
+            ("subtract", 2, np.subtract),
+            ("multiply", 2, np.multiply),
+            ("divide", 2, np.divide),
+            ("maximum", 2, np.maximum),
+            ("minimum", 2, np.minimum),
+            ("sqrt", 1, np.sqrt),
+            ("exp", 1, np.exp),
+            ("log", 1, np.log),
+            ("negative", 1, np.negative),
+            ("abs", 1, np.abs),
+            ("triu", 1, np.triu),
+            ("tril", 1, np.tril),
+        ],
+    )
+    def test_pointwise(self, op, args, ref):
+        spec = get_op(op)
+        operands = [self.rng.uniform(0.5, 2.0, (3, 3)) for _ in range(args)]
+        assert np.allclose(spec.eval(operands, {}), ref(*operands))
+
+    def test_sum_axis(self):
+        a = self.rng.random((2, 5))
+        assert np.allclose(get_op("sum").eval([a], {"axis": 1}), a.sum(axis=1))
+        assert np.allclose(get_op("sum").eval([a], {"axis": None}), a.sum())
+
+    def test_dot(self):
+        a, b = self.rng.random((2, 3)), self.rng.random((3, 4))
+        assert np.allclose(get_op("dot").eval([a, b], {}), a @ b)
+
+    def test_tensordot_outer(self):
+        a, b = self.rng.random(3), self.rng.random(4)
+        assert np.allclose(
+            get_op("tensordot").eval([a, b], {"axes": 0}), np.tensordot(a, b, 0)
+        )
+
+    def test_where(self):
+        cond = self.rng.random((4,)) < 0.5
+        x, y = self.rng.random(4), self.rng.random(4)
+        assert np.allclose(get_op("where").eval([cond, x, y], {}), np.where(cond, x, y))
+
+    def test_full(self):
+        assert np.allclose(get_op("full").eval([np.float64(2.5)], {"shape": (2, 2)}),
+                           np.full((2, 2), 2.5))
+
+
+class TestFlops:
+    def test_dot_flops_cubic(self):
+        spec = get_op("dot")
+        a, b = float_tensor(10, 20), float_tensor(20, 30)
+        out = float_tensor(10, 30)
+        assert spec.flops([a, b], out, {}) == 2 * 20 * 300
+
+    def test_elementwise_flops(self):
+        spec = get_op("add")
+        t = float_tensor(7, 3)
+        assert spec.flops([t, t], t, {}) == 21
+
+    def test_transpose_free(self):
+        spec = get_op("transpose")
+        t = float_tensor(5, 5)
+        assert spec.flops([t], t, {}) == 0
+
+    def test_sum_flops_input_size(self):
+        spec = get_op("sum")
+        assert spec.flops([float_tensor(4, 6)], float_tensor(4), {"axis": 1}) == 24
+
+    def test_tensordot_outer_flops(self):
+        spec = get_op("tensordot")
+        a, b = float_tensor(3), float_tensor(4)
+        assert spec.flops([a, b], float_tensor(3, 4), {"axes": 0}) == 12

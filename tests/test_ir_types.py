@@ -1,0 +1,122 @@
+"""Unit tests for the IR type system (repro.ir.types)."""
+
+import pytest
+
+from repro.errors import TypeInferenceError
+from repro.ir.types import (
+    BOOL_SCALAR,
+    FLOAT_SCALAR,
+    DType,
+    TensorType,
+    bool_tensor,
+    broadcast_shapes,
+    float_tensor,
+    normalize_axis,
+    reduce_shape,
+    shrink_shape,
+)
+
+
+class TestTensorType:
+    def test_scalar(self):
+        t = float_tensor()
+        assert t.is_scalar
+        assert t.rank == 0
+        assert t.size == 1
+        assert t == FLOAT_SCALAR
+
+    def test_matrix(self):
+        t = float_tensor(3, 4)
+        assert not t.is_scalar
+        assert t.rank == 2
+        assert t.size == 12
+        assert t.shape == (3, 4)
+
+    def test_bool(self):
+        t = bool_tensor(2)
+        assert t.dtype is DType.BOOL
+        assert bool_tensor() == BOOL_SCALAR
+
+    def test_with_shape(self):
+        t = float_tensor(3, 4).with_shape((5,))
+        assert t.shape == (5,)
+        assert t.dtype is DType.FLOAT
+
+    def test_str(self):
+        assert str(float_tensor(2, 3)) == "float[2x3]"
+        assert str(float_tensor()) == "float[scalar]"
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            TensorType(DType.FLOAT, (-1,))
+
+    def test_hashable(self):
+        assert len({float_tensor(2), float_tensor(2), float_tensor(3)}) == 2
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ((3,), (3,), (3,)),
+            ((3, 1), (1, 4), (3, 4)),
+            ((), (5,), (5,)),
+            ((2, 3), (3,), (2, 3)),
+            ((1,), (7,), (7,)),
+            ((4, 1, 2), (3, 1), (4, 3, 2)),
+        ],
+    )
+    def test_valid(self, a, b, expected):
+        assert broadcast_shapes(a, b) == expected
+        assert broadcast_shapes(b, a) == expected
+
+    @pytest.mark.parametrize("a, b", [((3,), (4,)), ((2, 3), (3, 2)), ((5, 5), (4,))])
+    def test_invalid(self, a, b):
+        with pytest.raises(TypeInferenceError):
+            broadcast_shapes(a, b)
+
+
+class TestReduceShape:
+    def test_axis_none(self):
+        assert reduce_shape((3, 4), None) == ()
+
+    def test_single_axis(self):
+        assert reduce_shape((3, 4), 0) == (4,)
+        assert reduce_shape((3, 4), 1) == (3,)
+        assert reduce_shape((3, 4), -1) == (3,)
+
+    def test_multi_axis(self):
+        assert reduce_shape((2, 3, 4), (0, 2)) == (3,)
+
+    def test_out_of_range(self):
+        with pytest.raises(TypeInferenceError):
+            reduce_shape((3,), 2)
+
+
+class TestNormalizeAxis:
+    def test_positive(self):
+        assert normalize_axis(1, 3) == 1
+
+    def test_negative(self):
+        assert normalize_axis(-1, 3) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(TypeInferenceError):
+            normalize_axis(3, 3)
+
+
+class TestShrinkShape:
+    def test_large_dims_shrink(self):
+        assert shrink_shape((512, 1024)) == (3, 3)
+
+    def test_unit_dims_preserved(self):
+        assert shrink_shape((1, 100)) == (1, 3)
+
+    def test_small_dims_unchanged(self):
+        assert shrink_shape((2, 3)) == (2, 3)
+
+    def test_custom_target(self):
+        assert shrink_shape((100,), target=4) == (4,)
+
+    def test_scalar(self):
+        assert shrink_shape(()) == ()

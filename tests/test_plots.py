@@ -1,0 +1,61 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.plots import bar_chart, grouped_bar_chart, log_bar_chart
+
+
+class TestBarChart:
+    def test_longest_bar_is_full_width(self):
+        out = bar_chart({"a": 4.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert 4 <= lines[1].count("█") <= 6
+
+    def test_values_and_title_rendered(self):
+        out = bar_chart({"numpy": 2.5}, title="Speedups", unit="x")
+        assert "Speedups" in out and "2.50x" in out
+
+    def test_reference_shown(self):
+        out = bar_chart({"numpy": 2.0}, reference={"numpy": 3.8})
+        assert "paper 3.8x" in out
+
+    def test_reference_sets_scale(self):
+        out = bar_chart({"a": 1.0}, reference={"a": 2.0}, width=10)
+        assert out.splitlines()[0].count("█") == 5
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+
+class TestGroupedBarChart:
+    def test_groups_and_bars(self):
+        out = grouped_bar_chart({"Class A": {"numpy": 2.0, "jax": 1.0}}, width=8)
+        assert "Class A" in out
+        assert out.count("█") > 0
+        assert "2.00x" in out and "1.00x" in out
+
+    def test_shared_scale_across_groups(self):
+        out = grouped_bar_chart(
+            {"g1": {"k": 8.0}, "g2": {"k": 4.0}}, width=8
+        ).splitlines()
+        full = [line for line in out if "█" * 8 in line]
+        assert len(full) == 1  # only the 8.0 bar saturates
+
+
+class TestLogBarChart:
+    def test_orders_of_magnitude_compressed(self):
+        out = log_bar_chart({"fast": 0.5, "slow": 500.0}, width=30)
+        lines = out.splitlines()
+        fast_cells = lines[0].count("█")
+        slow_cells = lines[1].count("█")
+        assert slow_cells == 30
+        assert 0 < fast_cells < slow_cells
+
+    def test_markers(self):
+        out = log_bar_chart({"x": 600.0}, markers={"x": " *"})
+        assert out.endswith("*")
+
+    def test_floor_guards_zero(self):
+        out = log_bar_chart({"zero": 0.0, "one": 1.0})
+        assert "0.0s" in out

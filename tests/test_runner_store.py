@@ -1,0 +1,142 @@
+"""Tests for the timing runner and the synthesis result store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import get_benchmark, geomean, measure_pair, time_callable
+from repro.bench.runner import verify_optimized_at_timing_shapes
+from repro.bench.store import CONFIGS, SynthesisRecord, SynthesisStore
+from repro.errors import BenchmarkError
+
+
+class TestTimeCallable:
+    def test_returns_positive_seconds(self):
+        t = time_callable(lambda: sum(range(100)), min_sample_seconds=0.001, samples=2)
+        assert 0 < t < 0.01
+
+    def test_scales_with_work(self):
+        fast = time_callable(lambda: sum(range(10)), min_sample_seconds=0.005, samples=2)
+        slow = time_callable(lambda: sum(range(200_000)), min_sample_seconds=0.005, samples=2)
+        assert slow > fast
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([1.0, 1.0, 1.0]) == 1.0
+        assert geomean([]) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(BenchmarkError):
+            geomean([1.0, 0.0])
+
+
+class TestVerifyAtTimingShapes:
+    def test_accepts_true_rewrite(self):
+        bench = get_benchmark("log_exp_1")
+        assert verify_optimized_at_timing_shapes(bench, "A + B")
+
+    def test_rejects_wrong_rewrite(self):
+        bench = get_benchmark("log_exp_1")
+        assert not verify_optimized_at_timing_shapes(bench, "A - B")
+
+    def test_rejects_shape_pinned_rewrite(self):
+        bench = get_benchmark("log_exp_1")  # timing shapes (384, 384)
+        assert not verify_optimized_at_timing_shapes(bench, "np.full((2, 3), 1.0) * (A + B)")
+
+    def test_rejects_unparseable(self):
+        bench = get_benchmark("log_exp_1")
+        assert not verify_optimized_at_timing_shapes(bench, "np.mystery(A)")
+
+
+class TestMeasurePair:
+    def test_improved_measures_both(self):
+        bench = get_benchmark("log_exp_1")
+        measurements = measure_pair(
+            bench, "A + B", backends=("numpy",), min_sample_seconds=0.005, samples=2
+        )
+        (m,) = measurements
+        assert m.improved
+        assert m.original_seconds > 0 and m.optimized_seconds > 0
+        assert m.speedup > 1.0  # exp+log of 384^2 vs one add
+
+    def test_unimproved_is_neutral(self):
+        bench = get_benchmark("log_exp_1")
+        (m,) = measure_pair(
+            bench, None, backends=("numpy",), min_sample_seconds=0.005, samples=2
+        )
+        assert not m.improved
+        assert m.speedup == 1.0
+
+    def test_invalid_optimized_falls_back(self):
+        bench = get_benchmark("log_exp_1")
+        (m,) = measure_pair(
+            bench, "A - B", backends=("numpy",), min_sample_seconds=0.005, samples=2
+        )
+        assert not m.improved and m.speedup == 1.0
+
+
+class TestStore:
+    def record(self, **overrides):
+        base = dict(
+            benchmark="log_exp_1",
+            cost_model="flops",
+            config="default",
+            improved=True,
+            optimized_source="def log_exp_1(A, B):\n    return (A + B)\n",
+            synthesis_seconds=1.0,
+            original_cost=10.0,
+            optimized_cost=5.0,
+            stats={},
+        )
+        base.update(overrides)
+        return SynthesisRecord(**base)
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = SynthesisStore(tmp_path / "s.json")
+        record = self.record()
+        store.put(record)
+        store.save()
+        reloaded = SynthesisStore(tmp_path / "s.json")
+        assert reloaded.get("log_exp_1", "flops", "default") == record
+
+    def test_get_or_run_uses_cache(self, tmp_path):
+        store = SynthesisStore(tmp_path / "s.json")
+        store.put(self.record())
+        got = store.get_or_run("log_exp_1", cost_model="flops", config="default")
+        assert got.synthesis_seconds == 1.0  # the cached record, not a rerun
+
+    def test_get_or_run_synthesizes_on_miss(self, tmp_path):
+        store = SynthesisStore(tmp_path / "s.json")
+        record = store.get_or_run(
+            "dot_trans_2", cost_model="flops", config="default", timeout_seconds=60
+        )
+        assert record.improved
+        assert "return A" in record.optimized_source
+        # persisted
+        assert json.loads((tmp_path / "s.json").read_text())
+
+    def test_named_configs_exist(self):
+        assert {
+            "default",
+            "simplification_only",
+            "depth1",
+            "no_memo",
+            "global_complexity",
+            "extended_grammar",
+        } <= set(CONFIGS)
+
+    def test_bottom_up_config(self, tmp_path):
+        store = SynthesisStore(tmp_path / "s.json")
+        record = store.get_or_run(
+            "log_exp_1", cost_model="flops", config="bottom_up", timeout_seconds=15
+        )
+        assert record.config == "bottom_up"
+        assert "programs_enumerated" in record.stats
+        # exp(log(A+B)) -> A+B is reachable by shallow enumeration.
+        assert record.improved
+        # cached on the second call
+        again = store.get_or_run("log_exp_1", cost_model="flops", config="bottom_up")
+        assert again == record

@@ -1,0 +1,121 @@
+"""End-to-end tests for Algorithm 1 (superoptimize_program / _source)."""
+
+import numpy as np
+import pytest
+
+from repro.cost import FlopsCostModel
+from repro.ir import evaluate, float_tensor, parse, random_inputs
+from repro.synth import (
+    SynthesisConfig,
+    superoptimize_program,
+    superoptimize_source,
+    verify_candidate,
+)
+
+FAST = SynthesisConfig(timeout_seconds=60)
+
+
+def optimize(source, types, **kwargs):
+    return superoptimize_source(
+        source, types, cost_model=FlopsCostModel(), config=FAST, **kwargs
+    )
+
+
+class TestKnownRewrites:
+    """Small, fast cases with a unique expected outcome."""
+
+    def test_exp_log_elimination(self):
+        r = optimize("np.exp(np.log(A + B))", {"A": (8, 8), "B": (8, 8)})
+        assert r.improved and r.verified
+        assert r.optimized == parse(
+            "A + B", {"A": float_tensor(3, 3), "B": float_tensor(3, 3)}
+        ).node
+
+    def test_double_transpose(self):
+        r = optimize("np.transpose(np.transpose(A))", {"A": (8, 4)})
+        assert r.improved
+        assert repr(r.optimized) == "Input(A: float[3x3])"
+
+    def test_div_sqrt(self):
+        r = optimize("(A + B) / np.sqrt(A + B)", {"A": (6, 6), "B": (6, 6)})
+        assert r.improved
+        assert "sqrt" in r.optimized_source
+
+    def test_sum_sum(self):
+        r = optimize("np.sum(np.sum(A, axis=0), axis=0)", {"A": (8, 8)})
+        assert r.improved
+        assert r.optimized_source.count("np.sum") == 1
+
+    def test_already_optimal_is_unchanged(self):
+        r = optimize("np.dot(A, B)", {"A": (6, 6), "B": (6, 6)})
+        assert not r.improved
+        assert r.optimized == r.program.node
+        assert r.speedup_estimate == 1.0
+
+
+class TestResultInvariants:
+    def test_summary_mentions_name(self):
+        r = optimize("A + A + A", {"A": (4,)}, name="triple")
+        assert "triple" in r.summary()
+
+    def test_optimized_source_is_executable(self):
+        r = optimize("A * B + A * B", {"A": (6,), "B": (6,)})
+        namespace = {"np": np}
+        exec(r.optimized_source, namespace)
+        fn = namespace[r.program.name]
+        a, b = np.random.rand(6), np.random.rand(6)
+        assert np.allclose(fn(a, b), a * b + a * b)
+
+    def test_costs_are_consistent(self):
+        r = optimize("A * B + A * B", {"A": (6,), "B": (6,)})
+        assert r.optimized_cost <= r.original_cost
+        if r.improved:
+            assert r.optimized_cost < r.original_cost
+
+
+class TestVerification:
+    def test_verify_candidate_accepts_identity(self):
+        program = parse("A + B", {"A": float_tensor(3), "B": float_tensor(3)})
+        assert verify_candidate(program, program.node, FAST)
+
+    def test_verify_candidate_rejects_wrong(self):
+        types = {"A": float_tensor(3), "B": float_tensor(3)}
+        program = parse("A + B", types)
+        wrong = parse("A - B", types).node
+        assert not verify_candidate(program, wrong, FAST)
+
+    def test_verify_candidate_rejects_shape_change(self):
+        types = {"A": float_tensor(3, 3)}
+        program = parse("np.sum(A, axis=0)", types)
+        wrong = parse("np.sum(A)", types).node
+        assert not verify_candidate(program, wrong, FAST)
+
+
+class TestShrinking:
+    def test_shrinks_large_shapes(self):
+        r = optimize("np.exp(np.log(A))", {"A": (512, 512)})
+        assert r.improved
+        # Synthesis ran at the shrunken shape but the program transports.
+        assert r.program.node.type.shape == (3, 3)
+
+    def test_shrink_disabled(self):
+        r = optimize("np.exp(np.log(A))", {"A": (4, 5)}, shrink=None)
+        assert r.program.node.type.shape == (4, 5)
+
+    def test_reverification_at_full_shape(self):
+        # (8,8) shrinks to (3,3); the result must still verify at (8,8).
+        r = optimize("np.diag(np.dot(A, B))", {"A": (8, 8), "B": (8, 8)})
+        if r.improved:
+            namespace = {"np": np}
+            exec(r.optimized_source, namespace)
+            fn = namespace[r.program.name]
+            a, b = np.random.rand(8, 8), np.random.rand(8, 8)
+            assert np.allclose(fn(a, b), np.diag(a @ b))
+
+    def test_literal_shapes_block_shrinking(self):
+        # reshape literals make the shrunken parse fail; falls back to full.
+        r = optimize(
+            "np.reshape(np.dot(np.reshape(A, (2, 3, 1, 4)), B), (2, 3, 4))",
+            {"A": (2, 3, 4), "B": (4, 4)},
+        )
+        assert r.program.node.type.shape == (2, 3, 4)
