@@ -1,0 +1,197 @@
+"""Speedup-vs-workers benchmark for the parallel batch synthesis engine.
+
+Runs one kernel-module batch through the sequential :class:`ModuleOptimizer`
+and through :class:`ParallelModuleOptimizer` at increasing worker counts,
+then re-runs the batch against the persistent cache the parallel run left
+behind.  Results (wall-clock per configuration, speedups, warm-cache solver
+counters, and an outcomes-equality check) land in ``BENCH_parallel.json`` at
+the repository root.
+
+Each configuration executes in a freshly *spawned* interpreter: SymPy keeps
+process-wide memo caches, so re-running configurations inside one process
+would hand later configurations an unearned warm start.
+
+The batch deliberately contains duplicated kernel patterns at different
+shapes (they normalize to the same synthesis problem after shrinking).  On a
+single-core host the parallel speedup comes from the engine's batch-level
+deduplication — duplicates of an unimproved pattern are synthesized once
+instead of once per kernel, and duplicates of an improved pattern resolve
+through the merged rule cache; on multi-core hosts process-level overlap
+compounds with it.  ``cpu_count`` is recorded so results read honestly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.pipeline import KernelSpec  # noqa: E402
+
+OUTPUT = _REPO / "BENCH_parallel.json"
+TIMEOUT_SECONDS = 120.0
+WORKER_COUNTS = (2, 4)
+
+
+def make_batch() -> list[KernelSpec]:
+    """Ten kernels, three distinct patterns (shapes shrink to one problem)."""
+    return [
+        KernelSpec("exp_log_33", "np.exp(np.log(A + B))", {"A": (3, 3), "B": (3, 3)}),
+        KernelSpec("exp_log_44", "np.exp(np.log(A + B))", {"A": (4, 4), "B": (4, 4)}),
+        KernelSpec("matmul_33", "np.dot(A, B)", {"A": (3, 3), "B": (3, 3)}),
+        KernelSpec("matmul_44", "np.dot(A, B)", {"A": (4, 4), "B": (4, 4)}),
+        KernelSpec("matmul_55", "np.dot(A, B)", {"A": (5, 5), "B": (5, 5)}),
+        KernelSpec("matmul_63", "np.dot(A, B)", {"A": (6, 3), "B": (3, 6)}),
+        KernelSpec("matmul_66", "np.dot(A, B)", {"A": (6, 6), "B": (6, 6)}),
+        KernelSpec("matmul_88", "np.dot(A, B)", {"A": (8, 8), "B": (8, 8)}),
+        KernelSpec("inner_33", "np.sum(A * B)", {"A": (3, 3), "B": (3, 3)}),
+        KernelSpec("inner_44", "np.sum(A * B)", {"A": (4, 4), "B": (4, 4)}),
+        KernelSpec("inner_55", "np.sum(A * B)", {"A": (5, 5), "B": (5, 5)}),
+        KernelSpec("inner_26", "np.sum(A * B)", {"A": (2, 6), "B": (2, 6)}),
+        KernelSpec("inner_66", "np.sum(A * B)", {"A": (6, 6), "B": (6, 6)}),
+        KernelSpec("inner_77", "np.sum(A * B)", {"A": (7, 7), "B": (7, 7)}),
+    ]
+
+
+def _config():
+    from repro.synth import SynthesisConfig
+
+    return SynthesisConfig(timeout_seconds=TIMEOUT_SECONDS)
+
+
+def _outcome_row(outcome) -> list:
+    return [
+        outcome.name,
+        outcome.via,
+        outcome.improved,
+        round(outcome.original_cost, 6),
+        round(outcome.optimized_cost, 6),
+        outcome.optimized_source,
+    ]
+
+
+def _run_batch(workers: int, cache_dir: str | None, queue) -> None:
+    """Child process: optimize the batch with the given worker count."""
+    from repro.parallel import ParallelModuleOptimizer
+    from repro.pipeline import ModuleOptimizer
+
+    batch = make_batch()
+    start = time.monotonic()
+    if workers <= 1:
+        result = ModuleOptimizer(config=_config()).optimize_module(batch)
+    else:
+        result = ParallelModuleOptimizer(
+            config=_config(), workers=workers, cache=cache_dir
+        ).optimize_module(batch)
+    queue.put(
+        {
+            "seconds": time.monotonic() - start,
+            "outcomes": sorted(_outcome_row(o) for o in result.outcomes),
+        }
+    )
+
+
+def _run_warm(cache_dir: str, queue) -> None:
+    """Child process: re-synthesize every kernel against the warm cache."""
+    from repro.synth import PersistentCache, superoptimize_source
+
+    batch = make_batch()
+    config = _config()
+    cache = PersistentCache(cache_dir)
+    solver_calls = 0
+    solver_cache_hits = 0
+    library_cache_hits = 0
+    start = time.monotonic()
+    for spec in batch:
+        result = superoptimize_source(
+            spec.source, dict(spec.inputs), config=config, name=spec.name, cache=cache
+        )
+        solver_calls += result.stats.solver_calls
+        solver_cache_hits += result.stats.solver_cache_hits
+        library_cache_hits += int(result.stats.library_cache_hit)
+    queue.put(
+        {
+            "seconds": time.monotonic() - start,
+            "solver_calls": solver_calls,
+            "solver_cache_hits": solver_cache_hits,
+            "library_cache_hits": library_cache_hits,
+        }
+    )
+
+
+def _in_fresh_process(target, *args) -> dict:
+    ctx = mp.get_context("spawn")
+    queue = ctx.SimpleQueue()
+    process = ctx.Process(target=target, args=(*args, queue))
+    process.start()
+    payload = queue.get()
+    process.join()
+    return payload
+
+
+def main() -> int:
+    report: dict = {
+        "cpu_count": os.cpu_count(),
+        "timeout_seconds": TIMEOUT_SECONDS,
+        "batch": [k.name for k in make_batch()],
+        "configs": {},
+    }
+
+    print("sequential (cold, no cache) ...", flush=True)
+    sequential = _in_fresh_process(_run_batch, 1, None)
+    report["configs"]["sequential"] = {"seconds": round(sequential["seconds"], 2)}
+    print(f"  {sequential['seconds']:.1f}s", flush=True)
+
+    last_cache: str | None = None
+    for workers in WORKER_COUNTS:
+        cache_dir = tempfile.mkdtemp(prefix=f"stenso-bench-w{workers}-")
+        print(f"parallel workers={workers} (cold cache) ...", flush=True)
+        run = _in_fresh_process(_run_batch, workers, cache_dir)
+        report["configs"][f"workers={workers}"] = {
+            "seconds": round(run["seconds"], 2),
+            "speedup_vs_sequential": round(sequential["seconds"] / run["seconds"], 2),
+            "outcomes_match": run["outcomes"] == sequential["outcomes"],
+        }
+        print(
+            f"  {run['seconds']:.1f}s "
+            f"({sequential['seconds'] / run['seconds']:.2f}x, "
+            f"match={run['outcomes'] == sequential['outcomes']})",
+            flush=True,
+        )
+        last_cache = cache_dir
+
+    assert last_cache is not None
+    print("warm-cache rerun ...", flush=True)
+    warm = _in_fresh_process(_run_warm, last_cache)
+    report["warm_cache"] = {
+        "seconds": round(warm["seconds"], 2),
+        "speedup_vs_sequential": round(sequential["seconds"] / warm["seconds"], 2),
+        "solver_calls": warm["solver_calls"],
+        "solver_cache_hits": warm["solver_cache_hits"],
+        "library_cache_hits": warm["library_cache_hits"],
+    }
+    print(
+        f"  {warm['seconds']:.1f}s, solver_calls={warm['solver_calls']}, "
+        f"library hits={warm['library_cache_hits']}",
+        flush=True,
+    )
+
+    OUTPUT.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="Disable cost-based pruning (simplification objective only).",
     )
     parser.add_argument("--shrink", type=int, default=3, help="Synthesis dimension cap (0 = off).")
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="Reuse solver/library/cost results across runs. With no DIR, "
+        "uses $STENSO_CACHE or results/cache/.",
+    )
     parser.add_argument("--stats", action="store_true", help="Print search statistics.")
     parser.add_argument(
         "--report",
@@ -149,6 +158,12 @@ def main(argv: list[str] | None = None) -> int:
         shrink = args.shrink or None
         name = args.program.stem
 
+    cache = None
+    if args.cache is not None:
+        from repro.synth.cache import PersistentCache
+
+        cache = PersistentCache(args.cache or None)
+
     start = time.time()
     try:
         result = superoptimize_source(
@@ -158,10 +173,13 @@ def main(argv: list[str] | None = None) -> int:
             config=config,
             name=name,
             shrink=shrink,
+            cache=cache,
         )
     except StensoError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if cache is not None:
+        cache.save()
 
     print(result.summary(), file=sys.stderr)
     if args.stats:

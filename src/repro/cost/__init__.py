@@ -1,6 +1,7 @@
 """Cost models guiding the branch-and-bound search (paper Sections V-B, VI-C)."""
 
 from repro.cost.base import CostModel, DimMapper
+from repro.cost.cached import CachingCostModel, with_caching
 from repro.cost.flops import NODE_EPSILON, FlopsCostModel
 from repro.cost.measured import MeasuredCostModel
 from repro.cost.roofline import MachineParameters, RooflineCostModel, calibrate
@@ -25,6 +26,7 @@ def make_cost_model(name: str, **kwargs) -> CostModel:
 
 
 __all__ = [
+    "CachingCostModel",
     "CostModel",
     "DimMapper",
     "FlopsCostModel",
@@ -34,4 +36,5 @@ __all__ = [
     "RooflineCostModel",
     "calibrate",
     "make_cost_model",
+    "with_caching",
 ]

@@ -112,48 +112,89 @@ class ModuleResult:
 
 
 class ModuleOptimizer:
-    """Optimizes kernel modules with a growing mined-rule cache."""
+    """Optimizes kernel modules with a growing mined-rule cache.
+
+    ``cache`` (a :class:`~repro.synth.cache.PersistentCache` or a directory
+    path) additionally reuses solver outcomes, stub libraries, and program
+    costs across runs; the caller persists it with ``cache.save()``.
+    """
 
     def __init__(
         self,
         cost_model: CostModel | str = "flops",
         config: SynthesisConfig | None = None,
         rules: Sequence[MinedRule] = (),
+        cache=None,
     ) -> None:
+        from repro.synth.cache import as_cache
+
         self.cost_model = (
             make_cost_model(cost_model) if isinstance(cost_model, str) else cost_model
         )
         self.config = config or DEFAULT_CONFIG
         self.rules: list[MinedRule] = list(rules)
+        self.cache = as_cache(cache)
 
     # -- single kernel ---------------------------------------------------------
 
-    def optimize_kernel(self, spec: KernelSpec) -> KernelOutcome:
+    def unchanged_outcome(
+        self, spec: KernelSpec, synthesis_seconds: float = 0.0
+    ) -> KernelOutcome:
+        """The identity outcome for ``spec`` (shared with the parallel driver)."""
         program = spec.parse()
         original_cost = self.cost_model.program_cost(program.node)
         original_source = to_source(
             program.node, name=spec.name, input_names=program.input_names
         )
+        return KernelOutcome(
+            name=spec.name,
+            improved=False,
+            via="unchanged",
+            original_source=original_source,
+            optimized_source=original_source,
+            original_cost=original_cost,
+            optimized_cost=original_cost,
+            synthesis_seconds=synthesis_seconds,
+        )
 
+    def try_rule_cache(self, spec: KernelSpec) -> KernelOutcome | None:
+        """Apply the mined-rule cache; None when no rule improves the kernel."""
+        if not self.rules:
+            return None
+        program = spec.parse()
+        original_cost = self.cost_model.program_cost(program.node)
+        margin = 1.0 - self.cost_model.decision_margin
+        best, _stats = optimize_with_rules(program.node, self.rules, self.cost_model)
+        best_cost = self.cost_model.program_cost(best)
+        if best_cost < original_cost * margin and verify_candidate(
+            program, best, self.config
+        ):
+            return KernelOutcome(
+                name=spec.name,
+                improved=True,
+                via="rule-cache",
+                original_source=to_source(
+                    program.node, name=spec.name, input_names=program.input_names
+                ),
+                optimized_source=to_source(
+                    best, name=spec.name, input_names=program.input_names
+                ),
+                original_cost=original_cost,
+                optimized_cost=best_cost,
+            )
+        return None
+
+    def optimize_kernel(self, spec: KernelSpec) -> KernelOutcome:
         # 1. Rule cache: milliseconds, no search.
-        if self.rules:
-            margin = 1.0 - self.cost_model.decision_margin
-            best, _stats = optimize_with_rules(program.node, self.rules, self.cost_model)
-            best_cost = self.cost_model.program_cost(best)
-            if best_cost < original_cost * margin and verify_candidate(
-                program, best, self.config
-            ):
-                return KernelOutcome(
-                    name=spec.name,
-                    improved=True,
-                    via="rule-cache",
-                    original_source=original_source,
-                    optimized_source=to_source(
-                        best, name=spec.name, input_names=program.input_names
-                    ),
-                    original_cost=original_cost,
-                    optimized_cost=best_cost,
-                )
+        cached = self.try_rule_cache(spec)
+        if cached is not None:
+            return cached
+
+        program = spec.parse()
+        original_cost = self.cost_model.program_cost(program.node)
+        original_source = to_source(
+            program.node, name=spec.name, input_names=program.input_names
+        )
 
         # 2. Full synthesis (at shrunken shapes, transported back — exactly
         # the public superoptimize_source flow).
@@ -163,26 +204,24 @@ class ModuleOptimizer:
             cost_model=self.cost_model,
             config=self.config,
             name=spec.name,
+            cache=self.cache,
         )
         if result.improved:
             self._learn(result.program, result.optimized, spec.name)
+            optimized_source = to_source(
+                result.optimized, name=spec.name, input_names=program.input_names
+            )
+            optimized_cost = self.cost_model.program_cost(
+                parse(optimized_source, program.input_types, name=spec.name).node
+            )
             return KernelOutcome(
                 name=spec.name,
                 improved=True,
                 via="synthesis",
                 original_source=original_source,
-                optimized_source=to_source(
-                    result.optimized, name=spec.name, input_names=program.input_names
-                ),
-                original_cost=self.cost_model.program_cost(program.node),
-                optimized_cost=self.cost_model.program_cost(
-                    parse(
-                        to_source(result.optimized, name=spec.name,
-                                  input_names=program.input_names),
-                        program.input_types,
-                        name=spec.name,
-                    ).node
-                ),
+                optimized_source=optimized_source,
+                original_cost=original_cost,
+                optimized_cost=optimized_cost,
                 synthesis_seconds=result.synthesis_seconds,
             )
         return KernelOutcome(
@@ -201,11 +240,40 @@ class ModuleOptimizer:
             rule = mine_rule(program.node, optimized, name=f"mined-{name}")
         except ValueError:
             return
+        self.absorb_rule(rule)
+
+    def absorb_rule(self, rule: MinedRule) -> None:
+        """Add a mined rule to the cache unless an equal rule is present."""
         if all(str(rule) != str(existing) for existing in self.rules):
             self.rules.append(rule)
 
     # -- whole module --------------------------------------------------------------
 
-    def optimize_module(self, kernels: Sequence[KernelSpec]) -> ModuleResult:
+    def optimize_module(
+        self, kernels: Sequence[KernelSpec], parallel: int = 1
+    ) -> ModuleResult:
+        """Optimize every kernel; ``parallel > 1`` fans out across processes.
+
+        The parallel path delegates to
+        :class:`repro.parallel.ParallelModuleOptimizer` (same outcomes, mined
+        rules merged deterministically) and syncs learned rules back into
+        this optimizer.
+        """
+        if parallel > 1 and len(kernels) > 1:
+            from repro.parallel import ParallelModuleOptimizer
+
+            driver = ParallelModuleOptimizer(
+                cost_model=self.cost_model,
+                config=self.config,
+                rules=self.rules,
+                workers=parallel,
+                cache=self.cache,
+            )
+            result = driver.optimize_module(kernels)
+            for rule in result.rules:
+                self.absorb_rule(rule)
+            return result
         outcomes = [self.optimize_kernel(spec) for spec in kernels]
+        if self.cache is not None:
+            self.cache.save()
         return ModuleResult(outcomes=outcomes, rules=list(self.rules))

@@ -1,5 +1,11 @@
 """Sketch-based synthesis: enumeration, solving, and cost-guided search."""
 
+from repro.synth.cache import (
+    CacheStats,
+    PersistentCache,
+    default_cache_dir,
+    synthesis_fingerprint,
+)
 from repro.synth.complexity import simplifies, spec_complexity
 from repro.synth.config import DEFAULT_CONFIG, SIMPLIFICATION_ONLY, SynthesisConfig
 from repro.synth.enumerator import StubEntry, StubEnumerator, program_constants
@@ -11,14 +17,17 @@ from repro.synth.superoptimizer import (
     SynthesisResult,
     superoptimize_program,
     superoptimize_source,
+    synthesis_types,
     verify_candidate,
 )
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SIMPLIFICATION_ONLY",
+    "CacheStats",
     "Hole",
     "Library",
+    "PersistentCache",
     "SearchContext",
     "SearchStats",
     "Sketch",
@@ -28,6 +37,7 @@ __all__ = [
     "SynthesisConfig",
     "SynthesisResult",
     "build_library",
+    "default_cache_dir",
     "dfs",
     "holes_of",
     "is_hole",
@@ -38,5 +48,7 @@ __all__ = [
     "spec_complexity",
     "superoptimize_program",
     "superoptimize_source",
+    "synthesis_fingerprint",
+    "synthesis_types",
     "verify_candidate",
 ]

@@ -1,0 +1,341 @@
+"""Persistent cross-run caches for the synthesis pipeline.
+
+Section VII-E argues the synthesis cost amortizes because results "can be
+cached and reused indefinitely".  This module makes that concrete: a
+:class:`PersistentCache` stores, on disk under ``results/cache/``,
+
+* **solver outcomes** — every ``SketchSolver.solve_all`` result, keyed by the
+  sketch's structural signature and the spec's canonical key.  A warm cache
+  turns the search's dominant SymPy cost into dictionary lookups;
+* **stub libraries** — the enumerated stubs and sketch sources per program
+  signature, serialized as expression strings and re-parsed on load (the
+  printer/parser round-trip is exact for the synthesis grammar);
+* **program costs** — ``cost_model.program_cost`` results per expression.
+
+Every entry is namespaced by a *fingerprint* of the synthesis configuration
+and the cost model, so changing any search knob (except the pure resource
+limit ``timeout_seconds``) or the cost model invalidates the cache without
+explicit bookkeeping.  Files carry a format version and are discarded
+wholesale on mismatch.
+
+Worker processes of :class:`repro.parallel.ParallelModuleOptimizer` each load
+the cache read-mostly and return a *delta* (new entries added during their
+run) which the parent merges and saves once — no cross-process file locking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.ir.printer import to_expression
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cost.base import CostModel
+    from repro.ir.nodes import Node
+    from repro.symexec.symtensor import SymTensor
+    from repro.synth.config import SynthesisConfig
+    from repro.synth.sketch import Sketch
+
+#: Bump when the on-disk format or any key scheme changes.
+CACHE_VERSION = 1
+
+_SECTIONS = ("solver", "library", "costs")
+
+#: Sentinel distinguishing "cached None" from "not cached".
+MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """``$STENSO_CACHE`` or ``<repo>/results/cache``."""
+    env = os.environ.get("STENSO_CACHE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "results" / "cache"
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints and keys
+# ---------------------------------------------------------------------------
+
+
+#: Config fields that cannot change synthesis *outcomes*, only resource use.
+_NON_SEMANTIC_FIELDS = ("timeout_seconds",)
+
+
+def cost_model_fingerprint(cost_model: "CostModel") -> str:
+    """Identity of a cost model for cache keying."""
+    mapper = getattr(cost_model, "mapper", None)
+    parts = [
+        getattr(cost_model, "name", cost_model.__class__.__name__),
+        repr(getattr(cost_model, "decision_margin", 0.0)),
+    ]
+    if mapper is not None:
+        parts.append(repr(sorted(mapper.dim_map.items())))
+        parts.append(repr((mapper.scale, mapper.cap)))
+    # Models may expose extra identity (e.g. a profiling-table revision).
+    extra = getattr(cost_model, "cache_fingerprint", None)
+    if extra is not None:
+        parts.append(str(extra() if callable(extra) else extra))
+    return "|".join(parts)
+
+
+def synthesis_fingerprint(config: "SynthesisConfig", cost_model: "CostModel") -> str:
+    """Short digest identifying (config, cost model) for cache namespacing."""
+    fields = {
+        k: v
+        for k, v in dataclasses.asdict(config).items()
+        if k not in _NON_SEMANTIC_FIELDS
+    }
+    payload = repr(sorted(fields.items())) + "||" + cost_model_fingerprint(cost_model)
+    return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+
+def _input_signature(node: "Node") -> str:
+    return ";".join(
+        f"{i.name}:{i.type.dtype.value}{i.type.shape}" for i in node.inputs()
+    )
+
+
+def spec_signature(key: tuple) -> str:
+    """Stable string form of a ``canonical_key`` tuple (already srepr-based)."""
+    shape, dtype, entries = key
+    return f"{shape}|{dtype.value}|" + "\x1f".join(entries)
+
+
+def sketch_signature(sketch: "Sketch") -> str:
+    """Structural identity of a sketch: expression, input types, hole types."""
+    holes = ";".join(f"{h.type.dtype.value}{h.type.shape}" for h in sketch.holes)
+    return (
+        f"{to_expression(sketch.root)}|{_input_signature(sketch.root)}"
+        f"|{holes}|{sketch.hole_paths}"
+    )
+
+
+def solver_key(fingerprint: str, sketch: "Sketch", spec_key: tuple) -> str:
+    return f"{fingerprint}##{sketch_signature(sketch)}##{spec_signature(spec_key)}"
+
+
+def library_key(fingerprint: str, program) -> str:
+    """Program signature: expression + ordered input types + fingerprint."""
+    ordered = ";".join(
+        f"{n}:{t.dtype.value}{t.shape}" for n, t in program.input_types.items()
+    )
+    return f"{fingerprint}##{to_expression(program.node)}##{ordered}"
+
+
+def cost_key(fingerprint: str, node: "Node") -> str:
+    return f"{fingerprint}##{to_expression(node)}##{_input_signature(node)}"
+
+
+# ---------------------------------------------------------------------------
+# SymTensor serialization (srepr round-trip)
+# ---------------------------------------------------------------------------
+
+
+def dump_tensor(tensor: "SymTensor") -> dict:
+    import sympy as sp
+
+    return {
+        "shape": list(tensor.shape),
+        "dtype": tensor.dtype.value,
+        "entries": [sp.srepr(e) for e in tensor.entries()],
+    }
+
+
+def load_tensor(payload: Mapping) -> "SymTensor":
+    import sympy as sp
+
+    from repro.ir.types import DType
+    from repro.symexec.symtensor import SymTensor
+
+    shape = tuple(payload["shape"])
+    entries = [sp.sympify(s) for s in payload["entries"]]
+    if shape:
+        data = np.empty(shape, dtype=object)
+        data.reshape(-1)[:] = entries
+    else:
+        data = np.array(entries[0], dtype=object)
+    return SymTensor(data, DType(payload["dtype"]))
+
+
+def dump_solution(solution: "tuple[SymTensor, ...] | None") -> dict:
+    if solution is None:
+        return {"solved": False}
+    return {"solved": True, "tensors": [dump_tensor(t) for t in solution]}
+
+
+def load_solution(payload: Mapping) -> "tuple[SymTensor, ...] | None":
+    if not payload.get("solved"):
+        return None
+    return tuple(load_tensor(t) for t in payload["tensors"])
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters per cache section (drives the profiler output)."""
+
+    solver_hits: int = 0
+    solver_misses: int = 0
+    library_hits: int = 0
+    library_misses: int = 0
+    cost_hits: int = 0
+    cost_misses: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class PersistentCache:
+    """JSON-backed, versioned store of synthesis intermediates.
+
+    One directory holds one file per section (``solver.json``,
+    ``library.json``, ``costs.json``).  Sections load lazily on first access;
+    :meth:`save` writes dirty sections atomically (tempfile + rename).
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path else default_cache_dir()
+        self.stats = CacheStats()
+        self._sections: dict[str, dict] = {}
+        self._dirty: set[str] = set()
+        self._delta: dict[str, dict] = {s: {} for s in _SECTIONS}
+
+    # -- storage ---------------------------------------------------------------
+
+    def _file(self, section: str) -> Path:
+        return self.path / f"{section}.json"
+
+    def _load(self, section: str) -> dict:
+        entries = self._sections.get(section)
+        if entries is not None:
+            return entries
+        entries = {}
+        file = self._file(section)
+        if file.exists():
+            try:
+                raw = json.loads(file.read_text())
+                if raw.get("version") == CACHE_VERSION:
+                    entries = raw.get("entries", {})
+            except (json.JSONDecodeError, OSError):
+                entries = {}
+        self._sections[section] = entries
+        return entries
+
+    def save(self) -> None:
+        """Persist dirty sections atomically."""
+        for section in sorted(self._dirty):
+            self.path.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "version": CACHE_VERSION,
+                "entries": self._sections[section],
+            }
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path, prefix=f".{section}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, self._file(section))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self._dirty.clear()
+
+    def delta(self) -> dict[str, dict]:
+        """Entries added by this process since load (for worker merge-back)."""
+        return {s: dict(d) for s, d in self._delta.items() if d}
+
+    def merge_delta(self, delta: Mapping[str, Mapping]) -> None:
+        """Merge a worker's delta into this cache (new keys win nothing: the
+        first writer's entry is kept, keeping merges order-independent for
+        identical keys)."""
+        for section, entries in (delta or {}).items():
+            if section not in _SECTIONS:
+                continue
+            store = self._load(section)
+            for key, value in entries.items():
+                if key not in store:
+                    store[key] = value
+                    self._delta[section][key] = value
+                    self._dirty.add(section)
+
+    def _get(self, section: str, key: str):
+        entries = self._load(section)
+        if key in entries:
+            return entries[key]
+        return MISS
+
+    def _put(self, section: str, key: str, value) -> None:
+        entries = self._load(section)
+        if key not in entries:
+            entries[key] = value
+            self._delta[section][key] = value
+            self._dirty.add(section)
+
+    # -- typed accessors -------------------------------------------------------
+
+    def solver_get(self, key: str):
+        """Cached ``solve_all`` outcome: MISS, None, or a tuple of tensors."""
+        hit = self._get("solver", key)
+        if hit is MISS:
+            self.stats.solver_misses += 1
+            return MISS
+        try:
+            out = load_solution(hit)
+        except Exception:
+            self.stats.solver_misses += 1
+            return MISS  # unreadable entry: treat as a miss, will be rewritten
+        self.stats.solver_hits += 1
+        return out
+
+    def solver_put(self, key: str, solution) -> None:
+        try:
+            self._put("solver", key, dump_solution(solution))
+        except Exception:
+            pass  # unserializable expression: skip caching this entry
+
+    def library_get(self, key: str) -> dict | None:
+        hit = self._get("library", key)
+        if hit is MISS:
+            self.stats.library_misses += 1
+            return None
+        self.stats.library_hits += 1
+        return hit
+
+    def library_put(self, key: str, payload: dict) -> None:
+        self._put("library", key, payload)
+
+    def cost_get(self, key: str) -> float | None:
+        hit = self._get("costs", key)
+        if hit is MISS:
+            self.stats.cost_misses += 1
+            return None
+        self.stats.cost_hits += 1
+        return float(hit)
+
+    def cost_put(self, key: str, value: float) -> None:
+        self._put("costs", key, float(value))
+
+
+def as_cache(cache: "PersistentCache | str | Path | None") -> PersistentCache | None:
+    """Normalize a cache argument: None, a directory path, or a cache."""
+    if cache is None or isinstance(cache, PersistentCache):
+        return cache
+    return PersistentCache(cache)

@@ -97,6 +97,7 @@ class StubEnumerator:
         self._by_key: dict[tuple, StubEntry] = {}
         self._seen_nodes: set[Node] = set()
         self._symexec_cache: dict[Node, SymTensor] = {}
+        self._cost_memo: dict[Node, float] = {}
         #: Every well-defined candidate, including behavioural duplicates.
         #: Sketches are derived from these: dedup keeps only one of
         #: ``power(A, 2)`` / ``multiply(A, A)``, but both spawn distinct,
@@ -143,9 +144,16 @@ class StubEnumerator:
     # -- internals -------------------------------------------------------------
 
     def _cost(self, node: Node) -> float:
-        if self.cost_model is not None:
-            return self.cost_model.program_cost(node)
-        return float(node.num_nodes)
+        # Memoized: _prefer re-prices retained stubs on every duplicate
+        # collision, and with a measured model each call is a timing run.
+        cost = self._cost_memo.get(node)
+        if cost is None:
+            if self.cost_model is not None:
+                cost = self.cost_model.program_cost(node)
+            else:
+                cost = float(node.num_nodes)
+            self._cost_memo[node] = cost
+        return cost
 
     def _prefer(self, new: Node, old: Node) -> bool:
         """Should ``new`` replace the behaviourally-equal ``old`` stub?

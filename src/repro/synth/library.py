@@ -13,8 +13,11 @@ from typing import Iterable
 
 from repro.cost.base import CostModel
 from repro.ir.nodes import Call, Input, Node
-from repro.ir.parser import Program
+from repro.ir.parser import Program, parse_expression
+from repro.ir.printer import to_expression
 from repro.ir.types import DType, TensorType
+from repro.symexec.canonical import canonical_key
+from repro.symexec.engine import symbolic_execute
 from repro.symexec.symtensor import SymTensor
 from repro.synth.config import SynthesisConfig
 from repro.synth.enumerator import StubEntry, StubEnumerator
@@ -31,6 +34,7 @@ class Library:
     stubs_by_sig: dict[tuple, list[StubEntry]]
     sketches: list[Sketch]
     sketches_by_type: dict[TensorType, list[Sketch]]
+    from_cache: bool = False
 
     def match_stub(self, key: tuple) -> StubEntry | None:
         """Base-case MATCH: exact canonical-key lookup."""
@@ -53,12 +57,71 @@ class Library:
 
 
 def build_library(
-    program: Program, config: SynthesisConfig, cost_model: CostModel
+    program: Program,
+    config: SynthesisConfig,
+    cost_model: CostModel,
+    cache=None,
+    fingerprint: str = "",
 ) -> Library:
-    """Enumerate stubs for ``program`` and derive the sketch library."""
+    """Enumerate stubs for ``program`` and derive the sketch library.
+
+    With a :class:`~repro.synth.cache.PersistentCache`, the enumerated stubs
+    and sketch sources are stored per program signature as expression
+    strings: a warm run skips candidate generation and observational
+    deduplication entirely, re-parsing only the admitted stubs.
+    """
+    cache_key = None
+    if cache is not None:
+        from repro.synth.cache import library_key
+
+        cache_key = library_key(fingerprint, program)
+        payload = cache.library_get(cache_key)
+        if payload is not None:
+            library = _library_from_payload(payload, program, config, cost_model)
+            if library is not None:
+                return library
     enumerator = StubEnumerator(program, config, cost_model=cost_model)
     stubs = enumerator.enumerate()
+    library = _assemble_library(stubs, enumerator.sketch_sources, config, cost_model)
+    if cache is not None and cache_key is not None:
+        try:
+            payload = {
+                "stubs": [to_expression(e.node) for e in stubs],
+                "sources": [to_expression(n) for n in enumerator.sketch_sources],
+            }
+        except Exception:
+            payload = None  # unprintable node: skip caching this library
+        if payload is not None:
+            cache.library_put(cache_key, payload)
+    return library
 
+
+def _library_from_payload(
+    payload: dict, program: Program, config: SynthesisConfig, cost_model: CostModel
+) -> Library | None:
+    """Rebuild a library from cached expression strings (None on any failure)."""
+    try:
+        types = program.input_types
+        shared: dict[Node, SymTensor] = {}
+        stubs: list[StubEntry] = []
+        for expr in payload["stubs"]:
+            node = parse_expression(expr, types).node
+            tensor = symbolic_execute(node, cache=shared)
+            stubs.append(StubEntry(node, tensor, canonical_key(tensor)))
+        sources = [parse_expression(expr, types).node for expr in payload["sources"]]
+    except Exception:
+        return None
+    library = _assemble_library(stubs, sources, config, cost_model)
+    library.from_cache = True
+    return library
+
+
+def _assemble_library(
+    stubs: list[StubEntry],
+    sketch_sources: Iterable[Node],
+    config: SynthesisConfig,
+    cost_model: CostModel,
+) -> Library:
     stub_by_key: dict[tuple, StubEntry] = {}
     stub_costs: dict[Node, float] = {}
     stubs_by_sig: dict[tuple, list[StubEntry]] = {}
@@ -69,7 +132,7 @@ def build_library(
 
     sketches: list[Sketch] = []
     seen_roots: set[Node] = set()
-    for source in enumerator.sketch_sources:
+    for source in sketch_sources:
         if not isinstance(source, Call):
             continue  # terminals produce no sketches
         for sk in sketches_from_stub(source, multi_hole=config.multi_hole_sketches):

@@ -31,7 +31,14 @@ _INF = float("inf")
 
 @dataclass
 class SearchStats:
-    """Counters describing one synthesis run (drives Fig. 5)."""
+    """Counters describing one synthesis run (drives Fig. 5).
+
+    ``solver_calls`` counts *actual* ``solve_all`` invocations; queries
+    answered by the persistent cache count into ``solver_cache_hits``
+    instead.  The ``time_*`` fields are the stage-level profiler: wall-time
+    spent building the stub library, solving sketches, matching base cases,
+    and verifying the final candidate.
+    """
 
     nodes_expanded: int = 0
     solver_calls: int = 0
@@ -44,9 +51,31 @@ class SearchStats:
     sketch_count: int = 0
     elapsed_seconds: float = 0.0
     timed_out: bool = False
+    # -- stage-level profiler -------------------------------------------------
+    time_enumeration: float = 0.0
+    time_solver: float = 0.0
+    time_base_match: float = 0.0
+    time_verification: float = 0.0
+    # -- persistent-cache counters --------------------------------------------
+    solver_cache_hits: int = 0
+    cost_cache_hits: int = 0
+    library_cache_hit: bool = False
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
+
+    def profile_summary(self) -> str:
+        """One-line stage breakdown with cache counters."""
+        cached = (
+            f", {self.solver_cache_hits} cached" if self.solver_cache_hits else ""
+        )
+        lib = " [lib cache]" if self.library_cache_hit else ""
+        return (
+            f"enum {self.time_enumeration:.2f}s{lib} | "
+            f"solver {self.time_solver:.2f}s ({self.solver_calls} calls{cached}) | "
+            f"match {self.time_base_match:.2f}s | "
+            f"verify {self.time_verification:.2f}s"
+        )
 
 
 class SearchContext:
@@ -58,23 +87,51 @@ class SearchContext:
         cost_model: CostModel,
         config: SynthesisConfig,
         cost_min: float,
+        cache=None,
+        fingerprint: str = "",
     ) -> None:
         self.library = library
         self.cost_model = cost_model
         self.config = config
         self.cost_min = cost_min  # pass-by-reference bound of Algorithm 2
         self.solver = SketchSolver(config)
+        self.cache = cache  # PersistentCache | None
+        self.fingerprint = fingerprint
         self.stats = SearchStats(
             stub_count=library.stub_count, sketch_count=library.sketch_count
         )
         self.deadline = time.monotonic() + config.timeout_seconds
         self.memo: dict[tuple, tuple[Node | None, float]] = {}
         self._retyped: dict[TensorType, list[Sketch]] = {}
+        # Per-search sketch-input-name cache (previously a module-level global
+        # that grew without bound across runs in a long-lived process).
+        self._sketch_inputs: dict[Node, frozenset[str]] = {}
 
     def check_time(self) -> None:
         if time.monotonic() > self.deadline:
             self.stats.timed_out = True
             raise SynthesisTimeout("synthesis search exceeded its time budget")
+
+    # -- solver with persistent caching -----------------------------------------
+
+    def solve_all(self, sketch: Sketch, spec: SymTensor, spec_key: tuple):
+        """SOLVE with the persistent cache in front of the real solver."""
+        cache_key = None
+        if self.cache is not None:
+            from repro.synth.cache import MISS, solver_key
+
+            cache_key = solver_key(self.fingerprint, sketch, spec_key)
+            hit = self.cache.solver_get(cache_key)
+            if hit is not MISS:
+                self.stats.solver_cache_hits += 1
+                return hit
+        self.stats.solver_calls += 1
+        start = time.monotonic()
+        out = self.solver.solve_all(sketch, spec)
+        self.stats.time_solver += time.monotonic() - start
+        if self.cache is not None and cache_key is not None:
+            self.cache.solver_put(cache_key, out)
+        return out
 
     # -- candidate sketch pool ---------------------------------------------------
 
@@ -84,7 +141,7 @@ class SearchContext:
         pool.extend(self._retyped_pool(spec_type))
         names = spec.input_names()
         filtered = [
-            sk for sk in pool if _sketch_input_names(sk) <= names or not names
+            sk for sk in pool if self._sketch_input_names(sk) <= names or not names
         ]
         filtered.sort(key=lambda s: (s.cost, s.root.num_nodes))
         return filtered[: self.config.max_candidates_per_node]
@@ -105,18 +162,14 @@ class SearchContext:
         self._retyped[spec_type] = out
         return out
 
+    def _sketch_input_names(self, sk: Sketch) -> frozenset[str]:
+        names = self._sketch_inputs.get(sk.root)
+        if names is None:
+            from repro.synth.sketch import is_hole
 
-_SKETCH_INPUTS_CACHE: dict[Node, frozenset[str]] = {}
-
-
-def _sketch_input_names(sk: Sketch) -> frozenset[str]:
-    names = _SKETCH_INPUTS_CACHE.get(sk.root)
-    if names is None:
-        from repro.synth.sketch import is_hole
-
-        names = frozenset(i.name for i in sk.root.inputs() if not is_hole(i))
-        _SKETCH_INPUTS_CACHE[sk.root] = names
-    return names
+            names = frozenset(i.name for i in sk.root.inputs() if not is_hole(i))
+            self._sketch_inputs[sk.root] = names
+        return names
 
 
 def _constant_spec_node(spec: SymTensor, ctx: SearchContext) -> Node | None:
@@ -201,7 +254,9 @@ def dfs(
         return result
 
     # -- base case: direct stub match (lines 2-8) ------------------------------
+    match_start = time.monotonic()
     matched = _match_base_case(spec, key, ctx)
+    ctx.stats.time_base_match += time.monotonic() - match_start
     if matched is not None:
         ctx.stats.base_case_matches += 1
         result = (matched.node, ctx.library.stub_costs[matched.node])
@@ -225,8 +280,7 @@ def dfs(
             break
         if cost_total >= cost + best_cost:
             break  # cannot beat the best completion already found here
-        ctx.stats.solver_calls += 1
-        hole_specs = ctx.solver.solve_all(sk, spec)
+        hole_specs = ctx.solve_all(sk, spec, key)
         if hole_specs is None:
             continue
         ctx.stats.solver_hits += 1

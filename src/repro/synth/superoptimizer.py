@@ -22,7 +22,8 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.cost import CostModel, make_cost_model
+from repro.cost import CostModel, make_cost_model, with_caching
+from repro.cost.cached import CachingCostModel
 from repro.errors import StensoError, SynthesisTimeout, VerificationError
 from repro.ir.evaluator import evaluate, random_inputs
 from repro.ir.nodes import Call, Node
@@ -31,6 +32,7 @@ from repro.ir.printer import to_callable, to_source
 from repro.ir.types import TensorType, shrink_shape
 from repro.symexec.canonical import canonical, equivalent
 from repro.symexec.engine import symbolic_execute
+from repro.synth.cache import PersistentCache, as_cache, synthesis_fingerprint
 from repro.synth.complexity import spec_complexity
 from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.synth.library import build_library
@@ -67,6 +69,7 @@ class SynthesisResult:
             f"{self.program.name}: {verdict}; cost {self.original_cost:.3g} -> "
             f"{self.optimized_cost:.3g} (est. {self.speedup_estimate:.2f}x), "
             f"{self.synthesis_seconds:.2f}s, {self.stats.nodes_expanded} nodes"
+            f"\n  stages: {self.stats.profile_summary()}"
         )
 
 
@@ -108,19 +111,35 @@ def superoptimize_program(
     program: Program,
     cost_model: CostModel | str = "flops",
     config: SynthesisConfig | None = None,
+    cache: "PersistentCache | str | None" = None,
 ) -> SynthesisResult:
-    """Run Algorithm 1 on a parsed program."""
+    """Run Algorithm 1 on a parsed program.
+
+    ``cache`` (a :class:`PersistentCache` or a directory path) reuses solver
+    outcomes, stub libraries, and program costs across runs.  The caller owns
+    persistence: mutate-in-memory here, ``cache.save()`` when convenient.
+    """
     config = config or DEFAULT_CONFIG
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model)
+    cache = as_cache(cache)
+    fingerprint = synthesis_fingerprint(config, cost_model) if cache is not None else ""
+    cost_model = with_caching(cost_model, cache, fingerprint)
     start = time.monotonic()
 
     cost_min = cost_model.program_cost(program.node)  # line 2
     spec = symbolic_execute(program.node).map(canonical)  # line 3
-    library = build_library(program, config, cost_model)  # line 4
+    library = build_library(  # line 4
+        program, config, cost_model, cache=cache, fingerprint=fingerprint
+    )
+    enum_elapsed = time.monotonic() - start
     score = spec_complexity(spec, config.complexity_mode)  # line 5
 
-    ctx = SearchContext(library, cost_model, config, cost_min)
+    ctx = SearchContext(
+        library, cost_model, config, cost_min, cache=cache, fingerprint=fingerprint
+    )
+    ctx.stats.time_enumeration = enum_elapsed
+    ctx.stats.library_cache_hit = library.from_cache
     try:
         result, result_cost = dfs(spec, score, 0, 0.0, ctx)  # line 6
     except SynthesisTimeout:
@@ -135,8 +154,12 @@ def superoptimize_program(
     verified = False
     if improved:
         assert result is not None
+        verify_start = time.monotonic()
         verified = verify_candidate(program, result, config)
+        ctx.stats.time_verification += time.monotonic() - verify_start
         improved = verified
+    if isinstance(cost_model, CachingCostModel):
+        ctx.stats.cost_cache_hits = cost_model.hits
     if not improved:
         result, result_cost = program.node, cost_min  # line 10
 
@@ -162,6 +185,30 @@ def _as_type(value) -> TensorType:
     return TensorType(DType.FLOAT, tuple(value))
 
 
+def synthesis_types(
+    source: str,
+    types: Mapping[str, TensorType],
+    shrink: int | None = 3,
+    name: str = "program",
+) -> dict[str, TensorType]:
+    """The input types actually used for synthesis: shrunken when possible.
+
+    Shared between :func:`superoptimize_source` and the parallel batch
+    driver's deduplication key, so both see the same normalized problem.
+    """
+    types = dict(types)
+    if shrink is None:
+        return types
+    candidate_types = {
+        n: t.with_shape(shrink_shape(t.shape, shrink)) for n, t in types.items()
+    }
+    try:
+        parse(source, candidate_types, name=name)
+        return candidate_types
+    except StensoError:
+        return types  # literal shape attrs forbid shrinking
+
+
 def superoptimize_source(
     source: str,
     inputs: Mapping[str, TensorType | tuple[int, ...]],
@@ -169,6 +216,7 @@ def superoptimize_source(
     config: SynthesisConfig | None = None,
     name: str = "program",
     shrink: int | None = 3,
+    cache: "PersistentCache | str | None" = None,
 ) -> SynthesisResult:
     """Superoptimize NumPy source, synthesizing at shrunken shapes.
 
@@ -178,22 +226,14 @@ def superoptimize_source(
     """
     config = config or DEFAULT_CONFIG
     types = {n: _as_type(t) for n, t in inputs.items()}
-
-    synth_types = types
-    if shrink is not None:
-        candidate_types = {
-            n: t.with_shape(shrink_shape(t.shape, shrink)) for n, t in types.items()
-        }
-        try:
-            parse(source, candidate_types, name=name)
-            synth_types = candidate_types
-        except StensoError:
-            synth_types = types  # literal shape attrs forbid shrinking
+    synth_types = synthesis_types(source, types, shrink, name=name)
 
     synth_program = parse(source, synth_types, name=name)
-    result = superoptimize_program(synth_program, cost_model=cost_model, config=config)
+    result = superoptimize_program(
+        synth_program, cost_model=cost_model, config=config, cache=cache
+    )
 
-    if result.improved and synth_types is not types:
+    if result.improved and synth_types != types:
         # Re-verify at original shapes; programs with embedded (shrunken)
         # shape attributes cannot be transported and are rejected outright.
         if _contains_shape_attrs(result.optimized):
