@@ -30,6 +30,7 @@ from repro.ir import (
     parse,
     to_source,
 )
+from repro.resilience import Budget, FaultPlan, ResiliencePolicy
 
 __version__ = "1.0.0"
 
@@ -48,7 +49,10 @@ def superoptimize(source, inputs, **kwargs):
 
 
 __all__ = [
+    "Budget",
+    "FaultPlan",
     "Program",
+    "ResiliencePolicy",
     "TensorType",
     "__version__",
     "bool_tensor",

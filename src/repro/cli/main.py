@@ -99,6 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--list-benchmarks", action="store_true", help="List suite benchmarks.")
     parser.add_argument("--timeout", type=float, default=600.0, help="Synthesis budget (s).")
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Solver-call budget: stop after N symbolic solver queries and "
+        "return the best program found so far (status: degraded).",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="Deterministic fault-injection plan for resilience testing, e.g. "
+        "'solver:raise' or 'solver[kernel]:hang=5@2' (overrides $STENSO_FAULTS).",
+    )
     parser.add_argument("--max-depth", type=int, default=2, help="Stub enumeration depth.")
     parser.add_argument(
         "--no-branch-and-bound",
@@ -131,10 +146,21 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    fault_plan = None
+    if args.faults:
+        from repro.resilience import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: bad --faults plan: {exc}", file=sys.stderr)
+            return 2
     config = SynthesisConfig(
         timeout_seconds=args.timeout,
         max_depth=args.max_depth,
         use_branch_and_bound=not args.no_branch_and_bound,
+        max_solver_calls=args.budget,
+        fault_plan=fault_plan,
     )
 
     if args.benchmark:
@@ -183,6 +209,7 @@ def main(argv: list[str] | None = None) -> int:
 
     print(result.summary(), file=sys.stderr)
     if args.stats:
+        print(f"  status: {result.status}", file=sys.stderr)
         for key, value in result.stats.as_dict().items():
             print(f"  {key}: {value}", file=sys.stderr)
     if args.report:

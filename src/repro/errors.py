@@ -36,6 +36,14 @@ class SynthesisTimeout(StensoError):
     """The synthesis search exceeded its wall-clock budget."""
 
 
+class BudgetExhausted(SynthesisTimeout):
+    """A non-time resource budget (e.g. solver calls) was exhausted.
+
+    Subclasses :class:`SynthesisTimeout` so every graceful-degradation path
+    that handles a deadline handles a spent budget identically.
+    """
+
+
 class VerificationError(StensoError):
     """A synthesized candidate failed semantic verification."""
 

@@ -1,9 +1,9 @@
-"""Parallel batch synthesis across worker processes.
+"""Parallel batch synthesis across worker processes, with failure isolation.
 
 Section VII-E's amortization argument scales two ways: *across runs* via the
 :class:`~repro.synth.cache.PersistentCache`, and *across kernels of one
 batch*, implemented here.  :class:`ParallelModuleOptimizer` fans independent
-kernels of a module over a ``ProcessPoolExecutor`` in waves:
+kernels of a module over worker processes in waves:
 
 1. before each wave the parent tries the **mined-rule cache** on every
    pending kernel (milliseconds, no search) and resolves kernels whose
@@ -23,16 +23,29 @@ discoveries exactly as in the sequential pipeline: a duplicate of an
 ``"unchanged"`` without paying synthesis again.  With ``workers=1`` the
 driver is bypassed entirely (`ModuleOptimizer.optimize_module` keeps the
 sequential path).
+
+Resilience (see :mod:`repro.resilience`): each kernel runs in its own
+process with a cooperative synthesis budget *and* a hard deadline — a worker
+stuck in a pathological SymPy call is SIGTERM'd (then SIGKILL'd) and the
+kernel reported ``status='timeout'``; a worker that *crashes* (OOM, injected
+death) is replaced with bounded retry + exponential backoff, falling back to
+in-parent synthesis after the retries; a worker whose synthesis *raises* is
+reported ``status='error'`` without retry (the failure is deterministic).
+Every kernel always gets a structured :class:`KernelOutcome`, and the rest
+of the module keeps optimizing.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cost import CostModel, make_cost_model
 from repro.pipeline import KernelOutcome, KernelSpec, ModuleOptimizer, ModuleResult
+from repro.resilience import ResiliencePolicy, inject
 from repro.rules.mining import MinedRule
 from repro.synth.cache import PersistentCache, as_cache
 from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
@@ -84,12 +97,72 @@ def _synthesize_worker(
     return outcome, optimizer.rules, delta
 
 
+def _worker_main(conn, spec, cost_model, config, cache_path, attempt) -> None:
+    """Worker-process entry point: synthesize and ship the result back.
+
+    An exception inside synthesis is sent as ``('error', message)`` — it is
+    deterministic, so the parent reports it without retry.  A crash (the
+    ``worker`` fault site's ``die`` action, an OOM kill) sends nothing; the
+    parent sees the dead process and retries.  ``attempt`` is the parent's
+    1-based retry counter, passed to the fault site so plans can model
+    transient failures (``worker:die@1`` kills only the first attempt).
+    """
+    try:
+        inject("worker", key=spec.name, index=attempt, config=config)
+        payload = _synthesize_worker(spec, cost_model, config, cache_path)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 — report, never hang the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _stop_process(proc, grace_s: float) -> None:
+    """SIGTERM, wait ``grace_s``, then SIGKILL a worker process."""
+    try:
+        proc.terminate()
+        proc.join(grace_s)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(1.0)
+    except Exception:
+        pass
+
+
+@dataclass
+class _Task:
+    idx: int
+    spec: KernelSpec
+    key: str
+    attempt: int = 1
+    ready_at: float = 0.0
+
+
+@dataclass
+class _Running:
+    task: _Task
+    proc: object
+    conn: object
+    hard_deadline: float | None
+
+
+_STILL_RUNNING = object()
+
+
 class ParallelModuleOptimizer:
     """Wave-scheduled parallel counterpart of :class:`ModuleOptimizer`.
 
     Produces the same set of :class:`KernelOutcome`\\ s (names, ``via``
     labels, costs) as the sequential pipeline on the same module; only
-    wall-clock and ``synthesis_seconds`` bookkeeping differ.
+    wall-clock and ``synthesis_seconds`` bookkeeping differ.  ``policy``
+    (a :class:`~repro.resilience.ResiliencePolicy`) controls per-kernel
+    timeouts, crash retries, and kill grace periods.
     """
 
     def __init__(
@@ -99,6 +172,7 @@ class ParallelModuleOptimizer:
         rules: Sequence[MinedRule] = (),
         workers: int | None = None,
         cache=None,
+        policy: ResiliencePolicy | None = None,
     ) -> None:
         self.cost_model = (
             make_cost_model(cost_model) if isinstance(cost_model, str) else cost_model
@@ -106,6 +180,7 @@ class ParallelModuleOptimizer:
         self.config = config or DEFAULT_CONFIG
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.cache = as_cache(cache)
+        self.policy = policy or ResiliencePolicy()
         # Sequential twin: rule-cache application, unchanged outcomes, and the
         # single-worker fallback all reuse its (verified) logic.
         self._seq = ModuleOptimizer(
@@ -119,24 +194,43 @@ class ParallelModuleOptimizer:
     def rules(self) -> list[MinedRule]:
         return self._seq.rules
 
-    def optimize_module(self, kernels: Sequence[KernelSpec]) -> ModuleResult:
+    def optimize_module(
+        self, kernels: Sequence[KernelSpec], timeout_s: float | None = None
+    ) -> ModuleResult:
+        timeout_s = timeout_s if timeout_s is not None else self.policy.kernel_timeout_s
         if self.workers <= 1 or len(kernels) <= 1:
-            return self._seq.optimize_module(kernels)
+            return self._seq.optimize_module(kernels, timeout_s=timeout_s)
 
         outcomes: list[KernelOutcome | None] = [None] * len(kernels)
         pending = list(enumerate(kernels))
         unimproved_keys: set[str] = set()
+        # Pattern key -> (status, error) of a representative that failed or
+        # degraded: its duplicates share the verdict instead of re-paying the
+        # same timeout/crash (same normalized problem, same fate).
+        failed_keys: dict[str, tuple[str, str | None]] = {}
 
         while pending:
             deferred: list[tuple[int, KernelSpec]] = []
             wave: list[tuple[int, KernelSpec, str]] = []
             wave_keys: set[str] = set()
             for idx, spec in pending:
-                cached = self._seq.try_rule_cache(spec)
+                try:
+                    cached = self._seq.try_rule_cache(spec)
+                except Exception as exc:  # noqa: BLE001 — classify, don't crash
+                    outcomes[idx] = self._seq.failed_outcome(
+                        spec, "error", f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
                 if cached is not None:
                     outcomes[idx] = cached
                     continue
                 key = _batch_key(spec, self.config)
+                if key in failed_keys:
+                    status, error = failed_keys[key]
+                    outcomes[idx] = self._seq.failed_outcome(
+                        spec, status, error or "pattern representative failed"
+                    )
+                    continue
                 if key in unimproved_keys:
                     # This pattern already synthesized to "no improvement";
                     # rerunning the search cannot change the verdict.
@@ -150,7 +244,7 @@ class ParallelModuleOptimizer:
 
             if not wave:
                 break  # everything resolved via rule cache / dedup
-            self._run_wave(wave, unimproved_keys, outcomes)
+            self._run_wave(wave, unimproved_keys, failed_keys, outcomes, timeout_s)
             pending = deferred
 
         if self.cache is not None:
@@ -159,43 +253,148 @@ class ParallelModuleOptimizer:
         assert len(done) == len(kernels), "parallel driver dropped a kernel"
         return ModuleResult(outcomes=done, rules=list(self._seq.rules))
 
+    # -- wave execution --------------------------------------------------------
+
     def _run_wave(
         self,
         wave: list[tuple[int, KernelSpec, str]],
         unimproved_keys: set[str],
+        failed_keys: dict[str, tuple[str, str | None]],
         outcomes: list[KernelOutcome | None],
+        timeout_s: float | None,
     ) -> None:
         # Workers read the cache from disk: persist pending entries first.
         cache_path = None
         if self.cache is not None:
             self.cache.save()
             cache_path = self.cache.path
-        # Never oversubscribe the machine: CPU-bound SymPy workers contend
-        # badly (measured ~1.7x slowdown at 3 concurrent workers on 1 core).
-        # A pool smaller than the wave still wins — queued kernels reuse the
-        # warmed worker processes, and the parent still deduplicates.
-        max_workers = max(1, min(self.workers, len(wave), os.cpu_count() or 1))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(
-                    _synthesize_worker, spec, self.cost_model, self.config, cache_path
+        policy = self.policy
+        # The worker's cooperative budget is the per-kernel deadline; the
+        # hard deadline sits above it so a well-behaved worker returns its
+        # best-so-far result by itself and only stuck ones get killed.
+        effective_timeout = timeout_s
+        worker_config = self.config
+        if timeout_s is not None:
+            worker_config = self.config.replace(
+                timeout_seconds=min(timeout_s, self.config.timeout_seconds)
+            )
+        else:
+            effective_timeout = self.config.timeout_seconds
+        hard_timeout = policy.hard_deadline_for(effective_timeout)
+        # The constructor's default worker count is already clamped to the
+        # CPU count; an explicit ``workers`` request is honored even above it
+        # (a hung kernel must not serialize the rest of the wave on a small
+        # machine — isolation beats contention here).
+        max_workers = max(1, min(self.workers, len(wave)))
+        ctx = mp.get_context()
+
+        queue: list[_Task] = [_Task(idx, spec, key) for idx, spec, key in wave]
+        running: list[_Running] = []
+        results: dict[int, tuple[str, object]] = {}
+
+        while queue or running:
+            now = time.monotonic()
+            # Launch ready tasks into free slots.
+            for task in [t for t in queue if t.ready_at <= now]:
+                if len(running) >= max_workers:
+                    break
+                queue.remove(task)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        task.spec,
+                        self.cost_model,
+                        worker_config,
+                        cache_path,
+                        task.attempt,
+                    ),
+                    daemon=True,
                 )
-                for _, spec, _ in wave
-            ]
-            # Collect in submission (kernel) order: rule merging and cache
-            # deltas stay deterministic regardless of completion order.
-            for (idx, spec, key), future in zip(wave, futures):
-                try:
-                    outcome, rules, delta = future.result()
-                except Exception:
-                    # A worker died (OOM, unpicklable result, ...): fall back
-                    # to synthesizing in the parent.
-                    outcome = self._seq.optimize_kernel(spec)
-                    rules, delta = [], {}
-                outcomes[idx] = outcome
+                proc.start()
+                child_conn.close()
+                deadline = now + hard_timeout if hard_timeout is not None else None
+                running.append(_Running(task, proc, parent_conn, deadline))
+
+            progressed = False
+            for r in list(running):
+                msg = _STILL_RUNNING
+                if r.conn.poll(0):
+                    try:
+                        msg = r.conn.recv()
+                    except (EOFError, OSError):
+                        msg = None  # died mid-send: treat as a crash
+                elif not r.proc.is_alive():
+                    msg = None  # died without reporting: crash
+                if msg is _STILL_RUNNING:
+                    if (
+                        r.hard_deadline is not None
+                        and time.monotonic() > r.hard_deadline
+                    ):
+                        # Hung worker (cooperative checks defeated, e.g. one
+                        # pathological SymPy call): hard-kill and move on.
+                        _stop_process(r.proc, policy.kill_grace_s)
+                        running.remove(r)
+                        r.conn.close()
+                        results[r.task.idx] = (
+                            "timeout",
+                            f"kernel exceeded its {effective_timeout:g}s deadline; "
+                            "worker killed",
+                        )
+                        progressed = True
+                    continue
+                running.remove(r)
+                r.conn.close()
+                r.proc.join()
+                progressed = True
+                if msg is None:
+                    # Crashed worker: replace it (bounded retry with backoff),
+                    # then fall back to synthesizing in the parent.
+                    task = r.task
+                    if task.attempt <= policy.max_retries:
+                        backoff = policy.retry_backoff_s * (2 ** (task.attempt - 1))
+                        task.attempt += 1
+                        task.ready_at = time.monotonic() + backoff
+                        queue.append(task)
+                    else:
+                        results[task.idx] = ("crashed", None)
+                else:
+                    kind, payload = msg
+                    results[r.task.idx] = (kind, payload)
+            if (queue or running) and not progressed:
+                time.sleep(policy.poll_interval_s)
+
+        # Merge in submission (kernel) order: rule merging and cache deltas
+        # stay deterministic regardless of completion order.
+        for idx, spec, key in wave:
+            kind, payload = results[idx]
+            if kind == "crashed":
+                outcome = self._seq.optimize_kernel_guarded(spec, timeout_s=timeout_s)
+                if outcome.status == "ok":
+                    outcome.status = "degraded"
+                    outcome.error = (
+                        f"worker crashed {self.policy.max_retries + 1}x; "
+                        "synthesized in parent"
+                    )
+                # Parent fallback used self._seq directly, so any mined rule
+                # is already absorbed; nothing more to merge.
+            elif kind == "timeout":
+                outcome = self._seq.failed_outcome(spec, "timeout", payload)
+            elif kind == "error":
+                outcome = self._seq.failed_outcome(spec, "error", payload)
+            else:
+                outcome, rules, delta = payload
                 for rule in rules:
                     self._seq.absorb_rule(rule)
                 if self.cache is not None and delta:
                     self.cache.merge_delta(delta)
+            outcomes[idx] = outcome
+            if outcome.status == "ok":
                 if not outcome.improved:
                     unimproved_keys.add(key)
+            elif not outcome.improved:
+                # A degraded/failed unimproved verdict is not trustworthy as
+                # "proven unimprovable", but duplicates share the same fate:
+                # don't re-pay the timeout/crash for each of them.
+                failed_keys.setdefault(key, (outcome.status, outcome.error))

@@ -58,7 +58,19 @@ def _float(shape: tuple[int, ...]) -> TensorType:
 
 @dataclass
 class KernelOutcome:
-    """How one kernel was optimized."""
+    """How one kernel was optimized.
+
+    ``status`` is the per-kernel resilience verdict:
+
+    * ``ok`` — the run completed normally;
+    * ``degraded`` — it completed under duress (synthesis budget expired and
+      the result is best-effort, or a crashed worker was replaced by an
+      in-parent fallback);
+    * ``timeout`` — the kernel's hard deadline was hit and its worker was
+      killed; the original source is passed through unchanged;
+    * ``error`` — synthesis raised; the original source is passed through
+      unchanged and ``error`` holds the message.
+    """
 
     name: str
     improved: bool
@@ -68,6 +80,8 @@ class KernelOutcome:
     original_cost: float
     optimized_cost: float
     synthesis_seconds: float = 0.0
+    status: str = "ok"  # 'ok' | 'degraded' | 'timeout' | 'error'
+    error: str | None = None
 
     @property
     def speedup_estimate(self) -> float:
@@ -89,6 +103,17 @@ class ModuleResult:
     def synthesis_runs(self) -> int:
         return sum(1 for o in self.outcomes if o.via == "synthesis")
 
+    @property
+    def failed(self) -> list[KernelOutcome]:
+        """Kernels that hit a hard failure (``timeout`` or ``error``)."""
+        return [o for o in self.outcomes if o.status in ("timeout", "error")]
+
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for o in self.outcomes:
+            counts[o.status] = counts.get(o.status, 0) + 1
+        return counts
+
     def module_source(self) -> str:
         """One importable Python module containing every optimized kernel."""
         parts = ['"""Kernels optimized by STENSO (repro.pipeline)."""', "", "import numpy as np", "", ""]
@@ -99,15 +124,22 @@ class ModuleResult:
         return "\n".join(parts).rstrip() + "\n"
 
     def summary(self) -> str:
-        lines = [
+        head = (
             f"optimized {len(self.outcomes)} kernels: "
             f"{self.cache_hits} via rule cache, {self.synthesis_runs} via synthesis, "
             f"{len(self.rules)} rules in cache"
-        ]
+        )
+        failed = self.failed
+        if failed:
+            head += f", {len(failed)} failed"
+        lines = [head]
         for o in self.outcomes:
-            lines.append(
-                f"  {o.name:<20} {o.via:<11} est {o.speedup_estimate:5.2f}x"
-            )
+            line = f"  {o.name:<20} {o.via:<11} est {o.speedup_estimate:5.2f}x"
+            if o.status != "ok":
+                line += f"  [{o.status}]"
+                if o.error:
+                    line += f" {o.error}"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -184,7 +216,49 @@ class ModuleOptimizer:
             )
         return None
 
-    def optimize_kernel(self, spec: KernelSpec) -> KernelOutcome:
+    def failed_outcome(
+        self, spec: KernelSpec, status: str, error: str | None
+    ) -> KernelOutcome:
+        """Pass-through outcome for a kernel that could not be optimized.
+
+        Never raises — even a kernel whose source cannot be parsed gets a
+        structured outcome, so one bad kernel cannot sink a module run.
+        """
+        try:
+            outcome = self.unchanged_outcome(spec)
+        except Exception:
+            outcome = KernelOutcome(
+                name=spec.name,
+                improved=False,
+                via="unchanged",
+                original_source=spec.source,
+                optimized_source=spec.source,
+                original_cost=0.0,
+                optimized_cost=0.0,
+            )
+        outcome.status = status
+        outcome.error = error
+        return outcome
+
+    def optimize_kernel_guarded(
+        self, spec: KernelSpec, timeout_s: float | None = None
+    ) -> KernelOutcome:
+        """Like :meth:`optimize_kernel`, but failures become structured
+        ``status='error'`` outcomes instead of exceptions (the service-facing
+        entry point used by module runs)."""
+        try:
+            return self.optimize_kernel(spec, timeout_s=timeout_s)
+        except Exception as exc:  # noqa: BLE001 — one kernel must not sink a module
+            return self.failed_outcome(spec, "error", f"{type(exc).__name__}: {exc}")
+
+    def optimize_kernel(
+        self, spec: KernelSpec, timeout_s: float | None = None
+    ) -> KernelOutcome:
+        config = self.config
+        if timeout_s is not None:
+            config = config.replace(
+                timeout_seconds=min(timeout_s, config.timeout_seconds)
+            )
         # 1. Rule cache: milliseconds, no search.
         cached = self.try_rule_cache(spec)
         if cached is not None:
@@ -202,10 +276,11 @@ class ModuleOptimizer:
             spec.source,
             dict(spec.inputs),
             cost_model=self.cost_model,
-            config=self.config,
+            config=config,
             name=spec.name,
             cache=self.cache,
         )
+        status = "degraded" if result.stats.timed_out else "ok"
         if result.improved:
             self._learn(result.program, result.optimized, spec.name)
             optimized_source = to_source(
@@ -223,6 +298,7 @@ class ModuleOptimizer:
                 original_cost=original_cost,
                 optimized_cost=optimized_cost,
                 synthesis_seconds=result.synthesis_seconds,
+                status=status,
             )
         return KernelOutcome(
             name=spec.name,
@@ -233,6 +309,7 @@ class ModuleOptimizer:
             original_cost=original_cost,
             optimized_cost=original_cost,
             synthesis_seconds=result.synthesis_seconds,
+            status=status,
         )
 
     def _learn(self, program: Program, optimized, name: str) -> None:
@@ -250,14 +327,22 @@ class ModuleOptimizer:
     # -- whole module --------------------------------------------------------------
 
     def optimize_module(
-        self, kernels: Sequence[KernelSpec], parallel: int = 1
+        self,
+        kernels: Sequence[KernelSpec],
+        parallel: int = 1,
+        timeout_s: float | None = None,
+        policy=None,
     ) -> ModuleResult:
         """Optimize every kernel; ``parallel > 1`` fans out across processes.
 
-        The parallel path delegates to
+        ``timeout_s`` is a per-kernel deadline: a kernel that exhausts it is
+        reported with ``status='degraded'``/``'timeout'`` and the rest of the
+        module still optimizes.  The parallel path delegates to
         :class:`repro.parallel.ParallelModuleOptimizer` (same outcomes, mined
-        rules merged deterministically) and syncs learned rules back into
-        this optimizer.
+        rules merged deterministically, plus hard kills for hung workers) and
+        syncs learned rules back into this optimizer; ``policy`` (a
+        :class:`repro.resilience.ResiliencePolicy`) tunes its retry and
+        hard-kill behavior.
         """
         if parallel > 1 and len(kernels) > 1:
             from repro.parallel import ParallelModuleOptimizer
@@ -268,12 +353,16 @@ class ModuleOptimizer:
                 rules=self.rules,
                 workers=parallel,
                 cache=self.cache,
+                policy=policy,
             )
-            result = driver.optimize_module(kernels)
+            result = driver.optimize_module(kernels, timeout_s=timeout_s)
             for rule in result.rules:
                 self.absorb_rule(rule)
             return result
-        outcomes = [self.optimize_kernel(spec) for spec in kernels]
+        outcomes = [
+            self.optimize_kernel_guarded(spec, timeout_s=timeout_s)
+            for spec in kernels
+        ]
         if self.cache is not None:
             self.cache.save()
         return ModuleResult(outcomes=outcomes, rules=list(self.rules))

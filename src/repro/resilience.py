@@ -1,0 +1,313 @@
+"""Resilience primitives: budgets, fault injection, and worker policies.
+
+The ROADMAP's north star is STENSO as a long-running service, which means a
+single pathological SymPy call or a crashed worker process must never stall
+or abort a whole module run.  This module provides the three pieces the rest
+of the pipeline threads through its hot paths:
+
+* :class:`Budget` — a cooperative deadline (wall-clock plus an optional
+  solver-call allowance) carried in ``SearchContext`` and checked in the
+  search, the solver front-end, the enumerator, and verification.  When a
+  budget expires the search degrades to the best program found so far
+  instead of hanging (Axon caps each SMT query the same way; TF-Coder
+  bounds its whole enumerative search by a time budget).
+* :class:`FaultPlan` — a deterministic fault-injection hook.  Named sites
+  (``solver``, ``cache-read``, ``worker``, ``verify``) call :func:`inject`;
+  an active plan can raise, delay, corrupt, or kill at those sites, so every
+  failure path is exercisable in CI.  Plans come from
+  ``SynthesisConfig.fault_plan``, :func:`set_fault_plan`, or the
+  ``$STENSO_FAULTS`` environment variable (which also reaches worker
+  processes).
+* :class:`ResiliencePolicy` — knobs of the hardened parallel driver:
+  per-kernel hard timeouts, bounded retry with backoff for crashed workers,
+  and kill grace periods.
+
+Fault spec grammar (``$STENSO_FAULTS`` / ``--faults``)::
+
+    spec  := rule (";" rule)*
+    rule  := site ["[" scope "]"] ":" action ["=" value] ["@" n]
+    site  := solver | cache-read | worker | verify
+    action:= raise | hang | corrupt | die
+
+``scope`` restricts a rule to one kernel name (or cache section), ``value``
+is the hang duration in seconds, and ``@n`` fires the rule only on the n-th
+(1-based) invocation of its site within the scope.  Examples::
+
+    solver[k2]:hang=30        # every solver call of kernel k2 sleeps 30s
+    solver:raise@3            # the third solver call raises FaultInjected
+    worker:die@1              # the first worker attempt dies (os._exit)
+    cache-read:corrupt        # cache files read back truncated
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExhausted, SynthesisTimeout
+
+_SITES = ("solver", "cache-read", "worker", "verify")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``raise`` fault rule.
+
+    Deliberately *not* a :class:`~repro.errors.StensoError`: injected faults
+    model unexpected third-party failures (a SymPy crash, a corrupted read)
+    and must flow through the same generic handlers those would.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Budget
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Budget:
+    """Cooperative resource budget for one synthesis run.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp (None = no
+    wall limit); ``max_solver_calls`` bounds actual solver invocations
+    (cache hits are free).  ``check()`` raises, ``expired()`` only reports —
+    loops that can stop gracefully (enumeration, verification) poll
+    ``expired()``, while the search raises and lets ``dfs`` unwind to the
+    best program found so far.
+    """
+
+    deadline: float | None = None
+    max_solver_calls: int | None = None
+    solver_calls_used: int = 0
+
+    @classmethod
+    def start(
+        cls, wall_s: float | None = None, solver_calls: int | None = None
+    ) -> "Budget":
+        deadline = time.monotonic() + wall_s if wall_s is not None else None
+        return cls(deadline=deadline, max_solver_calls=solver_calls)
+
+    @classmethod
+    def for_config(cls, config) -> "Budget":
+        return cls.start(
+            wall_s=config.timeout_seconds,
+            solver_calls=getattr(config, "max_solver_calls", None),
+        )
+
+    def time_left(self) -> float:
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            return True
+        return (
+            self.max_solver_calls is not None
+            and self.solver_calls_used > self.max_solver_calls
+        )
+
+    def check(self) -> None:
+        """Raise when the budget is spent (SynthesisTimeout / BudgetExhausted)."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise SynthesisTimeout("synthesis search exceeded its time budget")
+        if (
+            self.max_solver_calls is not None
+            and self.solver_calls_used > self.max_solver_calls
+        ):
+            raise BudgetExhausted(
+                f"synthesis exceeded its solver-call budget "
+                f"({self.solver_calls_used} > {self.max_solver_calls})"
+            )
+
+    def charge_solver(self, n: int = 1) -> None:
+        """Account for ``n`` actual solver calls; raises once over budget."""
+        self.solver_calls_used += n
+        if (
+            self.max_solver_calls is not None
+            and self.solver_calls_used > self.max_solver_calls
+        ):
+            raise BudgetExhausted(
+                f"synthesis exceeded its solver-call budget "
+                f"({self.solver_calls_used} > {self.max_solver_calls})"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultRule:
+    """One parsed fault rule (see module docstring for the grammar)."""
+
+    site: str
+    action: str  # 'raise' | 'hang' | 'corrupt' | 'die'
+    scope: str | None = None
+    value: float = 0.0
+    at: int | None = None
+
+    def __str__(self) -> str:
+        scope = f"[{self.scope}]" if self.scope else ""
+        value = f"={self.value:g}" if self.action == "hang" else ""
+        at = f"@{self.at}" if self.at is not None else ""
+        return f"{self.site}{scope}:{self.action}{value}{at}"
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic set of fault rules, fired at named sites.
+
+    Invocation counters are kept per (rule, scope key) inside the plan, so a
+    rule with ``@n`` fires exactly on the n-th call of its site — callers
+    that track their own attempt numbers (the parallel driver's worker
+    retries) pass ``index`` explicitly instead.
+    """
+
+    rules: list[FaultRule] = field(default_factory=list)
+    _counts: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        rules: list[FaultRule] = []
+        for chunk in spec.replace(",", ";").split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            head, _, action = chunk.partition(":")
+            if not action:
+                raise ValueError(f"fault rule {chunk!r} is missing ':action'")
+            scope = None
+            site = head.strip()
+            if "[" in site:
+                site, _, rest = site.partition("[")
+                scope = rest.rstrip("]").strip() or None
+                site = site.strip()
+            if site not in _SITES:
+                raise ValueError(f"unknown fault site {site!r} (one of {_SITES})")
+            action = action.strip()
+            at = None
+            if "@" in action:
+                action, _, at_s = action.partition("@")
+                at = int(at_s)
+            value = 0.0
+            if "=" in action:
+                action, _, value_s = action.partition("=")
+                value = float(value_s)
+            action = action.strip()
+            if action not in ("raise", "hang", "corrupt", "die"):
+                raise ValueError(f"unknown fault action {action!r}")
+            rules.append(FaultRule(site, action, scope=scope, value=value, at=at))
+        return cls(rules=rules)
+
+    def fire(self, site: str, key: str | None = None, index: int | None = None):
+        """Apply every matching rule; returns 'corrupt' when a corrupt rule hit.
+
+        ``key`` scopes the site invocation (kernel name, cache section);
+        ``index`` overrides the internal 1-based invocation counter.
+        """
+        directive = None
+        for i, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.scope is not None and rule.scope != key:
+                continue
+            if index is not None:
+                n = index
+            else:
+                counter = (i, key)
+                n = self._counts.get(counter, 0) + 1
+                self._counts[counter] = n
+            if rule.at is not None and n != rule.at:
+                continue
+            if rule.action == "raise":
+                raise FaultInjected(f"injected fault at {site} (rule {rule})")
+            if rule.action == "hang":
+                time.sleep(rule.value)
+            elif rule.action == "die":
+                os._exit(86)
+            elif rule.action == "corrupt":
+                directive = "corrupt"
+        return directive
+
+
+#: Plan installed programmatically for the current process.
+_ACTIVE: FaultPlan | None = None
+#: Parsed ``$STENSO_FAULTS`` plan, keyed by the raw spec string so counters
+#: survive across calls while a changed env var re-parses.
+_ENV_PLAN: tuple[str, FaultPlan] | None = None
+
+
+def set_fault_plan(plan: FaultPlan | str | None) -> FaultPlan | None:
+    """Install (or clear, with None) the process-wide fault plan."""
+    global _ACTIVE
+    _ACTIVE = FaultPlan.parse(plan) if isinstance(plan, str) else plan
+    return _ACTIVE
+
+
+def fault_plan_from_env() -> FaultPlan | None:
+    """The plan described by ``$STENSO_FAULTS``, if any (counters persist)."""
+    global _ENV_PLAN
+    spec = os.environ.get("STENSO_FAULTS")
+    if not spec:
+        return None
+    if _ENV_PLAN is None or _ENV_PLAN[0] != spec:
+        _ENV_PLAN = (spec, FaultPlan.parse(spec))
+    return _ENV_PLAN[1]
+
+
+def current_fault_plan(config=None) -> FaultPlan | None:
+    """Resolution order: config plan, programmatic plan, ``$STENSO_FAULTS``."""
+    plan = getattr(config, "fault_plan", None) if config is not None else None
+    if plan is not None:
+        return plan
+    if _ACTIVE is not None:
+        return _ACTIVE
+    return fault_plan_from_env()
+
+
+def inject(site: str, key: str | None = None, index: int | None = None, config=None):
+    """Fire ``site`` against the active fault plan (no-op without one)."""
+    plan = current_fault_plan(config)
+    if plan is None:
+        return None
+    return plan.fire(site, key=key, index=index)
+
+
+# ---------------------------------------------------------------------------
+# Worker policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Failure-handling knobs of :class:`repro.parallel.ParallelModuleOptimizer`."""
+
+    kernel_timeout_s: float | None = None
+    """Per-kernel wall-clock deadline.  Workers get it as their cooperative
+    synthesis budget; the parent hard-kills any worker still running at
+    ``kernel_timeout_s * hard_kill_factor + kill_grace_s`` (pathological
+    SymPy calls can blow through cooperative checks)."""
+
+    max_retries: int = 1
+    """Retries for a *crashed* worker process (OOM, injected death).  An
+    exception raised inside synthesis is deterministic and never retried."""
+
+    retry_backoff_s: float = 0.25
+    """Base backoff before a retry; doubles per attempt."""
+
+    hard_kill_factor: float = 1.5
+    """Hard-kill deadline multiplier over the cooperative timeout, leaving
+    room for a worker to return its best-so-far result by itself."""
+
+    kill_grace_s: float = 1.0
+    """Grace after SIGTERM before SIGKILL."""
+
+    poll_interval_s: float = 0.02
+    """Parent scheduler poll interval."""
+
+    def hard_deadline_for(self, timeout_s: float | None) -> float | None:
+        if timeout_s is None:
+            return None
+        return timeout_s * self.hard_kill_factor + self.kill_grace_s

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Mapping
 import numpy as np
 
 from repro.ir.printer import to_expression
+from repro.resilience import inject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cost.base import CostModel
@@ -67,8 +68,9 @@ def default_cache_dir() -> Path:
 # ---------------------------------------------------------------------------
 
 
-#: Config fields that cannot change synthesis *outcomes*, only resource use.
-_NON_SEMANTIC_FIELDS = ("timeout_seconds",)
+#: Config fields that cannot change synthesis *outcomes*, only resource use
+#: (or, for ``fault_plan``, deliberately break runs for testing).
+_NON_SEMANTIC_FIELDS = ("timeout_seconds", "max_solver_calls", "fault_plan")
 
 
 def cost_model_fingerprint(cost_model: "CostModel") -> str:
@@ -226,11 +228,20 @@ class PersistentCache:
         entries = {}
         file = self._file(section)
         if file.exists():
+            # Another process may have been killed mid-write before the
+            # atomic-save era, or the disk may hand back garbage: any
+            # unreadable / structurally wrong file is an empty cache, never
+            # an error — the cache is an accelerator, not a dependency.
             try:
-                raw = json.loads(file.read_text())
+                text = file.read_text()
+                if inject("cache-read", key=section) == "corrupt":
+                    text = text[: len(text) // 2]  # simulate a torn write
+                raw = json.loads(text)
                 if raw.get("version") == CACHE_VERSION:
                     entries = raw.get("entries", {})
-            except (json.JSONDecodeError, OSError):
+                if not isinstance(entries, dict):
+                    entries = {}
+            except Exception:
                 entries = {}
         self._sections[section] = entries
         return entries

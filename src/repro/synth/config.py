@@ -79,6 +79,19 @@ class SynthesisConfig:
     timeout_seconds: float = 600.0
     """Wall-clock budget for one synthesis run (paper: 10 minutes)."""
 
+    max_solver_calls: int | None = None
+    """Optional cap on *actual* solver invocations per synthesis run (cache
+    hits are free).  Like ``timeout_seconds`` this is a pure resource limit:
+    exceeding it degrades the search to the best program found so far and
+    never changes what a completed search would return, so it is excluded
+    from the cache fingerprint."""
+
+    fault_plan: "object | None" = None
+    """Optional :class:`repro.resilience.FaultPlan` injected into the run's
+    instrumented sites (solver, cache-read, worker, verify) for failure-path
+    testing.  Also settable process-wide via ``$STENSO_FAULTS``; excluded
+    from the cache fingerprint."""
+
     memoize: bool = True
     """Cache DFS results per canonical spec key."""
 

@@ -90,10 +90,12 @@ class StubEnumerator:
         program: Program,
         config: SynthesisConfig,
         cost_model: CostModel | None = None,
+        budget=None,
     ) -> None:
         self.program = program
         self.config = config
         self.cost_model = cost_model
+        self.budget = budget  # repro.resilience.Budget | None
         self._by_key: dict[tuple, StubEntry] = {}
         self._seen_nodes: set[Node] = set()
         self._symexec_cache: dict[Node, SymTensor] = {}
@@ -126,9 +128,13 @@ class StubEnumerator:
             if len(self._by_key) >= self.config.max_stubs:
                 break
             new_level: list[StubEntry] = []
-            for candidate in self._grow():
+            for i, candidate in enumerate(self._grow()):
                 if len(self._by_key) >= self.config.max_stubs:
                     break
+                # Graceful degradation: an expired budget stops enumeration
+                # with a partial (still sound) library rather than raising.
+                if self.budget is not None and i % 32 == 0 and self.budget.expired():
+                    return list(self._by_key.values())
                 entry = self._admit(candidate)
                 if entry is not None:
                     new_level.append(entry)

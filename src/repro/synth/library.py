@@ -62,13 +62,17 @@ def build_library(
     cost_model: CostModel,
     cache=None,
     fingerprint: str = "",
+    budget=None,
 ) -> Library:
     """Enumerate stubs for ``program`` and derive the sketch library.
 
     With a :class:`~repro.synth.cache.PersistentCache`, the enumerated stubs
     and sketch sources are stored per program signature as expression
     strings: a warm run skips candidate generation and observational
-    deduplication entirely, re-parsing only the admitted stubs.
+    deduplication entirely, re-parsing only the admitted stubs.  A
+    :class:`~repro.resilience.Budget` bounds enumeration: on expiry the
+    partial library is returned (and not cached — it is sound but smaller
+    than a full enumeration would produce).
     """
     cache_key = None
     if cache is not None:
@@ -80,9 +84,11 @@ def build_library(
             library = _library_from_payload(payload, program, config, cost_model)
             if library is not None:
                 return library
-    enumerator = StubEnumerator(program, config, cost_model=cost_model)
+    enumerator = StubEnumerator(program, config, cost_model=cost_model, budget=budget)
     stubs = enumerator.enumerate()
     library = _assemble_library(stubs, enumerator.sketch_sources, config, cost_model)
+    if budget is not None and budget.expired():
+        return library  # partial: do not poison the persistent cache with it
     if cache is not None and cache_key is not None:
         try:
             payload = {

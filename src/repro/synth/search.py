@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SynthesisTimeout
 from repro.cost.base import CostModel
+from repro.resilience import Budget
 from repro.ir.nodes import Node
 from repro.ir.types import TensorType
 from repro.symexec.canonical import canonical_key, equivalent
@@ -89,28 +90,38 @@ class SearchContext:
         cost_min: float,
         cache=None,
         fingerprint: str = "",
+        budget: Budget | None = None,
+        scope: str = "",
     ) -> None:
         self.library = library
         self.cost_model = cost_model
         self.config = config
         self.cost_min = cost_min  # pass-by-reference bound of Algorithm 2
-        self.solver = SketchSolver(config)
+        self.scope = scope  # kernel name, used to scope injected faults
+        self.solver = SketchSolver(config, scope=scope)
         self.cache = cache  # PersistentCache | None
         self.fingerprint = fingerprint
         self.stats = SearchStats(
             stub_count=library.stub_count, sketch_count=library.sketch_count
         )
-        self.deadline = time.monotonic() + config.timeout_seconds
+        self.budget = budget if budget is not None else Budget.for_config(config)
         self.memo: dict[tuple, tuple[Node | None, float]] = {}
         self._retyped: dict[TensorType, list[Sketch]] = {}
         # Per-search sketch-input-name cache (previously a module-level global
         # that grew without bound across runs in a long-lived process).
         self._sketch_inputs: dict[Node, frozenset[str]] = {}
 
+    @property
+    def deadline(self) -> float:
+        """Absolute monotonic deadline (kept for backward compatibility)."""
+        return self.budget.deadline if self.budget.deadline is not None else _INF
+
     def check_time(self) -> None:
-        if time.monotonic() > self.deadline:
+        try:
+            self.budget.check()
+        except SynthesisTimeout:
             self.stats.timed_out = True
-            raise SynthesisTimeout("synthesis search exceeded its time budget")
+            raise
 
     # -- solver with persistent caching -----------------------------------------
 
@@ -125,6 +136,11 @@ class SearchContext:
             if hit is not MISS:
                 self.stats.solver_cache_hits += 1
                 return hit
+        try:
+            self.budget.charge_solver()
+        except SynthesisTimeout:
+            self.stats.timed_out = True
+            raise
         self.stats.solver_calls += 1
         start = time.monotonic()
         out = self.solver.solve_all(sketch, spec)
@@ -270,55 +286,68 @@ def dfs(
     # -- recursive case: decompose through sketches (lines 9-28) ----------------
     best_program: Node | None = None
     best_cost = _INF
+    timed_out = False
     for sk in ctx.sketch_pool(spec):
-        ctx.check_time()
-        cost_total = cost + sk.cost
-        # Branch and bound (line 16): the pool is cost-sorted, so once one
-        # sketch busts the bound every later one does too.
-        if ctx.config.use_branch_and_bound and cost_total >= ctx.cost_min:
-            ctx.stats.pruned_bound += 1
-            break
-        if cost_total >= cost + best_cost:
-            break  # cannot beat the best completion already found here
-        hole_specs = ctx.solve_all(sk, spec, key)
-        if hole_specs is None:
-            continue
-        ctx.stats.solver_hits += 1
-        hole_scores = [
-            spec_complexity(h, ctx.config.complexity_mode) for h in hole_specs
-        ]
-        # PRUNE (line 12): the *average* hole complexity must strictly drop.
-        if ctx.config.use_simplification and sum(hole_scores) / len(hole_scores) >= score:
-            ctx.stats.pruned_simplification += 1
-            continue
-        # Lines 15-22: synthesize each hole, accumulating cost, with the
-        # branch-and-bound check before every recursion.
-        fills: list[Node] = []
-        running = cost_total
-        success = True
-        for hole_spec, hole_score in zip(hole_specs, hole_scores):
-            if ctx.config.use_branch_and_bound and running >= ctx.cost_min:
+        # Graceful degradation: a budget expiring mid-sketch abandons the
+        # remaining candidates but keeps the best completion found at this
+        # node, so the run returns "best program so far" instead of nothing.
+        try:
+            ctx.check_time()
+            cost_total = cost + sk.cost
+            # Branch and bound (line 16): the pool is cost-sorted, so once one
+            # sketch busts the bound every later one does too.
+            if ctx.config.use_branch_and_bound and cost_total >= ctx.cost_min:
                 ctx.stats.pruned_bound += 1
-                success = False
                 break
-            sub_program, sub_cost = dfs(hole_spec, hole_score, level + 1, running, ctx)
-            if sub_program is None:
-                success = False
-                break
-            fills.append(sub_program)
-            running += sub_cost
-        if not success:
-            continue
-        total = running - cost  # sketch skeleton + all hole costs
-        if total < best_cost:
-            best_program = sk.fill_many(fills)
-            best_cost = total
-            # Lines 29-31: a complete program exists once the root's sketch
-            # is filled; tighten the shared bound.
-            if level == 0 and cost + total < ctx.cost_min:
-                ctx.cost_min = cost + total
+            if cost_total >= cost + best_cost:
+                break  # cannot beat the best completion already found here
+            hole_specs = ctx.solve_all(sk, spec, key)
+            if hole_specs is None:
+                continue
+            ctx.stats.solver_hits += 1
+            hole_scores = [
+                spec_complexity(h, ctx.config.complexity_mode) for h in hole_specs
+            ]
+            # PRUNE (line 12): the *average* hole complexity must strictly drop.
+            if ctx.config.use_simplification and sum(hole_scores) / len(hole_scores) >= score:
+                ctx.stats.pruned_simplification += 1
+                continue
+            # Lines 15-22: synthesize each hole, accumulating cost, with the
+            # branch-and-bound check before every recursion.
+            fills: list[Node] = []
+            running = cost_total
+            success = True
+            for hole_spec, hole_score in zip(hole_specs, hole_scores):
+                if ctx.config.use_branch_and_bound and running >= ctx.cost_min:
+                    ctx.stats.pruned_bound += 1
+                    success = False
+                    break
+                sub_program, sub_cost = dfs(hole_spec, hole_score, level + 1, running, ctx)
+                if sub_program is None:
+                    success = False
+                    break
+                fills.append(sub_program)
+                running += sub_cost
+            if not success:
+                continue
+            total = running - cost  # sketch skeleton + all hole costs
+            if total < best_cost:
+                best_program = sk.fill_many(fills)
+                best_cost = total
+                # Lines 29-31: a complete program exists once the root's sketch
+                # is filled; tighten the shared bound.
+                if level == 0 and cost + total < ctx.cost_min:
+                    ctx.cost_min = cost + total
+        except SynthesisTimeout:
+            timed_out = True
+            break
 
+    if timed_out and best_program is None:
+        # Nothing assembled at this node: unwind so an ancestor (which may
+        # hold a complete candidate) degrades instead.
+        raise SynthesisTimeout("synthesis search exceeded its budget")
     result = (best_program, best_cost)
-    if ctx.config.memoize and best_program is not None:
+    # A timed-out partial result may be suboptimal; never memoize it.
+    if ctx.config.memoize and best_program is not None and not timed_out:
         ctx.memo[key] = result
     return result

@@ -25,6 +25,7 @@ import sympy as sp
 
 from repro.ir.nodes import Call, Input, Node
 from repro.ir.types import DType, TensorType
+from repro.resilience import inject
 from repro.symexec.canonical import canonical
 from repro.symexec.engine import symbolic_execute
 from repro.symexec.symtensor import SymTensor, input_symbols_of, symbol_origin
@@ -613,10 +614,15 @@ def _generic_solve(
 
 
 class SketchSolver:
-    """Solves ``sketch(??) = spec`` queries with caching of sibling values."""
+    """Solves ``sketch(??) = spec`` queries with caching of sibling values.
 
-    def __init__(self, config: SynthesisConfig | None = None) -> None:
+    ``scope`` names the kernel being synthesized; it keys the ``solver``
+    fault-injection site so test plans can target one kernel of a batch.
+    """
+
+    def __init__(self, config: SynthesisConfig | None = None, scope: str = "") -> None:
         self.config = config or SynthesisConfig()
+        self.scope = scope
         self._value_cache: dict[Node, SymTensor] = {}
 
     def _value(self, node: Node) -> SymTensor:
@@ -628,6 +634,7 @@ class SketchSolver:
 
     def solve_all(self, sketch: Sketch, spec: SymTensor) -> tuple[SymTensor, ...] | None:
         """One hole specification per hole (Algorithm 2's SOLVE), or None."""
+        inject("solver", key=self.scope, config=self.config)
         if sketch.num_holes == 1:
             single = self.solve(sketch, spec)
             return None if single is None else (single,)

@@ -30,6 +30,7 @@ from repro.ir.nodes import Call, Node
 from repro.ir.parser import Program, parse
 from repro.ir.printer import to_callable, to_source
 from repro.ir.types import TensorType, shrink_shape
+from repro.resilience import Budget, inject
 from repro.symexec.canonical import canonical, equivalent
 from repro.symexec.engine import symbolic_execute
 from repro.synth.cache import PersistentCache, as_cache, synthesis_fingerprint
@@ -63,10 +64,17 @@ class SynthesisResult:
             return 1.0
         return self.original_cost / self.optimized_cost
 
+    @property
+    def status(self) -> str:
+        """``'ok'`` for a completed search, ``'degraded'`` when the time or
+        solver-call budget expired and the result is best-effort."""
+        return "degraded" if self.stats.timed_out else "ok"
+
     def summary(self) -> str:
         verdict = "improved" if self.improved else "unchanged"
+        degraded = " [degraded: budget exhausted]" if self.status == "degraded" else ""
         return (
-            f"{self.program.name}: {verdict}; cost {self.original_cost:.3g} -> "
+            f"{self.program.name}: {verdict}{degraded}; cost {self.original_cost:.3g} -> "
             f"{self.optimized_cost:.3g} (est. {self.speedup_estimate:.2f}x), "
             f"{self.synthesis_seconds:.2f}s, {self.stats.nodes_expanded} nodes"
             f"\n  stages: {self.stats.profile_summary()}"
@@ -80,11 +88,18 @@ def _contains_shape_attrs(node: Node) -> bool:
 
 
 def verify_candidate(
-    program: Program, candidate: Node, config: SynthesisConfig
+    program: Program, candidate: Node, config: SynthesisConfig, budget=None
 ) -> bool:
-    """Check candidate == program numerically (and symbolically if enabled)."""
+    """Check candidate == program numerically (and symbolically if enabled).
+
+    With a :class:`~repro.resilience.Budget`, an expiry between trials fails
+    the candidate (safe direction: an unverified program is never emitted).
+    """
+    inject("verify", key=program.name, config=config)
     rng = np.random.default_rng(2024)
     for _ in range(max(config.verify_numeric_trials, 1)):
+        if budget is not None and budget.expired():
+            return False
         env = random_inputs(program.input_types, rng=rng)
         try:
             expected = evaluate(program.node, env)
@@ -112,12 +127,18 @@ def superoptimize_program(
     cost_model: CostModel | str = "flops",
     config: SynthesisConfig | None = None,
     cache: "PersistentCache | str | None" = None,
+    budget: "Budget | None" = None,
 ) -> SynthesisResult:
     """Run Algorithm 1 on a parsed program.
 
     ``cache`` (a :class:`PersistentCache` or a directory path) reuses solver
     outcomes, stub libraries, and program costs across runs.  The caller owns
     persistence: mutate-in-memory here, ``cache.save()`` when convenient.
+
+    ``budget`` (defaults to one derived from the config's ``timeout_seconds``
+    and ``max_solver_calls``) bounds the whole run — enumeration, search, and
+    verification share it, and on expiry the best verified program found so
+    far is returned with ``status == 'degraded'``.
     """
     config = config or DEFAULT_CONFIG
     if isinstance(cost_model, str):
@@ -125,18 +146,21 @@ def superoptimize_program(
     cache = as_cache(cache)
     fingerprint = synthesis_fingerprint(config, cost_model) if cache is not None else ""
     cost_model = with_caching(cost_model, cache, fingerprint)
+    budget = budget if budget is not None else Budget.for_config(config)
     start = time.monotonic()
 
     cost_min = cost_model.program_cost(program.node)  # line 2
     spec = symbolic_execute(program.node).map(canonical)  # line 3
     library = build_library(  # line 4
-        program, config, cost_model, cache=cache, fingerprint=fingerprint
+        program, config, cost_model, cache=cache, fingerprint=fingerprint,
+        budget=budget,
     )
     enum_elapsed = time.monotonic() - start
     score = spec_complexity(spec, config.complexity_mode)  # line 5
 
     ctx = SearchContext(
-        library, cost_model, config, cost_min, cache=cache, fingerprint=fingerprint
+        library, cost_model, config, cost_min, cache=cache, fingerprint=fingerprint,
+        budget=budget, scope=program.name,
     )
     ctx.stats.time_enumeration = enum_elapsed
     ctx.stats.library_cache_hit = library.from_cache
@@ -155,7 +179,10 @@ def superoptimize_program(
     if improved:
         assert result is not None
         verify_start = time.monotonic()
-        verified = verify_candidate(program, result, config)
+        try:
+            verified = verify_candidate(program, result, config, budget=budget)
+        except VerificationError:
+            verified = False  # candidate cannot even be evaluated: reject it
         ctx.stats.time_verification += time.monotonic() - verify_start
         improved = verified
     if isinstance(cost_model, CachingCostModel):

@@ -72,10 +72,12 @@ def _has_shape_attrs(node: Node) -> bool:
 
 def _numeric_agree(
     reference: Node, candidate: Node, types: Mapping[str, TensorType],
-    trials: int, seed: int,
+    trials: int, seed: int, budget=None,
 ) -> str | None:
     rng = np.random.default_rng(seed)
     for _ in range(trials):
+        if budget is not None and budget.expired():
+            return "verification budget exhausted"
         env = random_inputs(types, rng=rng)
         try:
             want = np.asarray(evaluate(reference, env), dtype=float)
@@ -96,15 +98,26 @@ def verify_equivalence(
     symbolic: bool = True,
     shape_transport: bool = True,
     seed: int = 1729,
+    budget=None,
 ) -> VerificationReport:
-    """Check that ``candidate`` computes the same function as ``reference``."""
+    """Check that ``candidate`` computes the same function as ``reference``.
+
+    ``budget`` (a :class:`repro.resilience.Budget`) bounds the whole check:
+    when it expires between trials or layers, the report *fails* with a
+    "budget exhausted" reason — verification can be cut short, but a partial
+    verification never reports success.
+    """
     types = reference.input_types
 
-    reason = _numeric_agree(reference.node, candidate, types, numeric_trials, seed)
+    reason = _numeric_agree(
+        reference.node, candidate, types, numeric_trials, seed, budget=budget
+    )
     if reason is not None:
         return _fail(reason, numeric_trials=numeric_trials)
 
     symbolic_checked = False
+    if budget is not None and budget.expired():
+        return _fail("verification budget exhausted", numeric_trials=numeric_trials)
     if symbolic:
         from repro.symexec import equivalent, symbolic_execute
 
@@ -119,6 +132,13 @@ def verify_equivalence(
     if shape_transport and reference.source and not _has_shape_attrs(candidate):
         candidate_source = to_expression(candidate)
         for alt_types in jitter_shapes(types):
+            if budget is not None and budget.expired():
+                return _fail(
+                    "verification budget exhausted",
+                    numeric_trials=numeric_trials,
+                    symbolic_checked=symbolic_checked,
+                    shape_sets_checked=shape_sets,
+                )
             try:
                 alt_reference = parse(reference.source, alt_types, name=reference.name)
                 alt_candidate = parse(candidate_source, alt_types).node

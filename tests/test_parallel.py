@@ -62,6 +62,42 @@ def test_warm_cache_makes_zero_solver_calls(tmp_path):
     assert second.optimized_source == first.optimized_source
 
 
+def test_timed_out_kernel_does_not_perturb_the_others():
+    # One kernel of the batch hangs (injected fault at the worker site, so it
+    # burns no CPU) and is killed at its hard deadline; the surviving kernels
+    # must still match a sequential run exactly — same via labels, sources,
+    # and merged rule cache.
+    from repro.resilience import FaultPlan, ResiliencePolicy
+
+    hang = KernelSpec(
+        "k_hang", "np.diag(np.dot(A, B))", {"A": (2, 2), "B": (2, 2)}
+    )
+    # Small shapes keep the survivors far inside the cooperative deadline so
+    # the only failure in the batch is the injected hang.
+    small_module = [
+        KernelSpec("exp_log", "np.exp(np.log(A + B))", {"A": (2, 2), "B": (2, 2)}),
+        KernelSpec("exp_log_wide", "np.exp(np.log(P + Q))", {"P": (2, 2), "Q": (2, 2)}),
+        KernelSpec("matmul", "np.dot(C, D)", {"C": (2, 2), "D": (2, 2)}),
+    ]
+    config = FAST.replace(fault_plan=FaultPlan.parse("worker[k_hang]:hang=120"))
+    par = ParallelModuleOptimizer(
+        config=config,
+        workers=2,
+        policy=ResiliencePolicy(
+            hard_kill_factor=1.0, kill_grace_s=0.5, max_retries=0
+        ),
+    ).optimize_module([hang] + small_module, timeout_s=12)
+
+    seq = ModuleOptimizer(config=FAST).optimize_module(small_module)
+    by = {o.name: o for o in par.outcomes}
+    assert by["k_hang"].status == "timeout"
+    survivors = type(par)(outcomes=[o for o in par.outcomes if o.name != "k_hang"],
+                          rules=par.rules)
+    assert _signature(survivors) == _signature(seq)
+    assert sorted(str(r) for r in par.rules) == sorted(str(r) for r in seq.rules)
+    assert all(o.status == "ok" for o in survivors.outcomes)
+
+
 def test_batch_key_normalizes_names_and_shrinkable_shapes():
     a = KernelSpec("a", "np.exp(np.log(A + B))", {"A": (3, 3), "B": (3, 3)})
     b = KernelSpec("b", "np.exp(np.log(P + Q))", {"P": (4, 4), "Q": (4, 4)})
