@@ -30,9 +30,19 @@ from repro.ir import (
     parse,
     to_source,
 )
-from repro.resilience import Budget, FaultPlan, ResiliencePolicy
+from repro.resilience import Budget, FaultPlan, FileLock, InterruptGuard, ResiliencePolicy
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # RunJournal/open_run import pipeline (and with it the synth stack);
+    # load them lazily so `import repro` stays light.
+    if name in ("RunJournal", "open_run", "list_runs"):
+        import repro.journal as _journal
+
+        return getattr(_journal, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def superoptimize(source, inputs, **kwargs):
@@ -51,9 +61,14 @@ def superoptimize(source, inputs, **kwargs):
 __all__ = [
     "Budget",
     "FaultPlan",
+    "FileLock",
+    "InterruptGuard",
     "Program",
     "ResiliencePolicy",
+    "RunJournal",
     "TensorType",
+    "list_runs",
+    "open_run",
     "__version__",
     "bool_tensor",
     "float_tensor",

@@ -102,22 +102,40 @@ def evaluate_suite(
     processes before the (timing-sensitive, therefore sequential)
     measurement pass; results land in ``store`` exactly as on the
     sequential path.
+
+    Suite sweeps are crash-safe: every synthesis record is saved to the
+    store the moment it exists (the store's save is a locked read-merge-
+    write, so concurrent sweeps sharing a store file union their records),
+    and SIGINT/SIGTERM stop the sweep gracefully after the current
+    benchmark — a killed or interrupted sweep re-run only pays for the
+    benchmarks it had not yet completed.
     """
+    from repro.resilience import InterruptGuard
+
     benches = [get_benchmark(n) for n in names] if names else list(ALL_BENCHMARKS)
-    if parallel > 1:
-        _prefill_store(store, benches, cost_model, parallel)
-    return [
-        evaluate_benchmark(
-            b, store, cost_model, backends, measure, min_sample_seconds, samples
-        )
-        for b in benches
-    ]
+    evaluations: list[BenchmarkEvaluation] = []
+    with InterruptGuard() as stop:
+        if parallel > 1:
+            _prefill_store(store, benches, cost_model, parallel, stop=stop)
+        for b in benches:
+            if stop.requested():
+                break
+            evaluations.append(
+                evaluate_benchmark(
+                    b, store, cost_model, backends, measure, min_sample_seconds, samples
+                )
+            )
+    return evaluations
 
 
 def _prefill_store(
-    store: SynthesisStore, benches: Sequence[Benchmark], cost_model: str, workers: int
+    store: SynthesisStore,
+    benches: Sequence[Benchmark],
+    cost_model: str,
+    workers: int,
+    stop=None,
 ) -> None:
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
     from repro.bench.store import run_synthesis
 
@@ -125,15 +143,23 @@ def _prefill_store(
     if not missing:
         return
     with ProcessPoolExecutor(max_workers=min(workers, len(missing))) as pool:
-        futures = [
+        futures = {
             pool.submit(run_synthesis, b, cost_model, "default", None) for b in missing
-        ]
-        for future in futures:
-            try:
-                store.put(future.result())
-            except Exception:
-                continue  # evaluate_benchmark re-runs this one sequentially
-    store.save()
+        }
+        while futures:
+            done, futures = wait(futures, timeout=0.5, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    store.put(future.result())
+                except Exception:
+                    continue  # evaluate_benchmark re-runs this one sequentially
+                # Incremental persistence: a crash after this point keeps
+                # every completed record.
+                store.save()
+            if stop is not None and stop.requested():
+                for future in futures:
+                    future.cancel()
+                break
 
 
 # ---------------------------------------------------------------------------

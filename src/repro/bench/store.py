@@ -10,13 +10,18 @@ paper's observation that superoptimization is a cacheable one-time cost.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.bench.suite import Benchmark, get_benchmark
 from repro.cost import make_cost_model
+from repro.resilience import FileLock
 from repro.synth.config import SynthesisConfig
+
+log = logging.getLogger(__name__)
 
 DEFAULT_STORE_PATH = Path(
     os.environ.get("STENSO_STORE", Path(__file__).resolve().parents[3] / "results" / "synthesis.json")
@@ -53,20 +58,58 @@ class SynthesisRecord:
 
 
 class SynthesisStore:
-    """JSON-backed memo of synthesis runs."""
+    """JSON-backed memo of synthesis runs.
+
+    Robust to concurrent suite runs sharing one store file: :meth:`save`
+    holds a cross-process lock over a read-merge-write (records another
+    process saved since our load are preserved, not overwritten), the write
+    itself is atomic (tempfile + rename), and a corrupt or torn store file
+    loads as empty — the store is a memo, never a dependency.
+    """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path else DEFAULT_STORE_PATH
-        self._records: dict[str, SynthesisRecord] = {}
-        if self.path.exists():
-            for raw in json.loads(self.path.read_text()).values():
+        self._records: dict[str, SynthesisRecord] = dict(self._read_disk())
+
+    def _read_disk(self) -> dict[str, SynthesisRecord]:
+        records: dict[str, SynthesisRecord] = {}
+        if not self.path.exists():
+            return records
+        try:
+            raw_records = json.loads(self.path.read_text())
+        except Exception:
+            log.warning("synthesis store %s is unreadable; starting empty", self.path)
+            return records
+        if not isinstance(raw_records, dict):
+            return records
+        for raw in raw_records.values():
+            try:
                 record = SynthesisRecord(**raw)
-                self._records[record.key] = record
+            except TypeError:
+                continue  # record from an incompatible format: skip it
+            records[record.key] = record
+        return records
 
     def save(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {k: asdict(r) for k, r in sorted(self._records.items())}
-        self.path.write_text(json.dumps(payload, indent=1))
+        with FileLock(self.path.parent / f".{self.path.name}.lock"):
+            merged = self._read_disk()
+            merged.update(self._records)
+            self._records = merged
+            payload = {k: asdict(r) for k, r in sorted(merged.items())}
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path.parent, prefix=f".{self.path.name}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(json.dumps(payload, indent=1))
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def get(self, benchmark: str, cost_model: str, config: str = "default") -> SynthesisRecord | None:
         return self._records.get(f"{benchmark}|{cost_model}|{config}")

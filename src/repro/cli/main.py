@@ -16,6 +16,14 @@ the program file::
 
 or from the ``--shapes`` flag (``--shapes "A=64,64;B=64,64"``; a scalar is
 an empty spec: ``a=``).
+
+``--module module.py`` optimizes *every* function in a file as one batch run
+(optionally ``--parallel N``).  Module runs are journaled under
+``results/runs/<run_id>/`` (see :mod:`repro.journal`): Ctrl-C exits cleanly
+with all completed kernels durable, and ``--resume <run_id>`` finishes an
+interrupted run without re-synthesizing journaled kernels.  ``SHAPES`` in a
+module file maps input names to shapes (shared across kernels), or kernel
+names to per-kernel shape dicts.
 """
 
 from __future__ import annotations
@@ -72,12 +80,91 @@ def load_program_file(path: Path) -> tuple[str, dict[str, TensorType] | None]:
     return "\n".join(p for p in source_parts if p), shapes
 
 
+def load_module_kernels(path: Path):
+    """Parse a multi-kernel module file into :class:`KernelSpec`\\ s.
+
+    Every top-level function becomes one kernel.  The module-level ``SHAPES``
+    dict either maps input names to shapes (shared by all kernels) or kernel
+    names to their own ``{input: shape}`` dicts.
+    """
+    from repro.pipeline import KernelSpec
+
+    text = path.read_text()
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        raise StensoError(f"cannot parse {path}: {exc}") from exc
+    shapes: dict = {}
+    functions: list[ast.FunctionDef] = []
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "SHAPES"
+        ):
+            shapes = ast.literal_eval(stmt.value)
+        elif isinstance(stmt, ast.FunctionDef):
+            functions.append(stmt)
+    if not functions:
+        raise StensoError(f"{path} defines no kernel functions")
+    per_kernel = shapes and all(isinstance(v, dict) for v in shapes.values())
+    specs = []
+    for fn in functions:
+        table = shapes.get(fn.name, {}) if per_kernel else shapes
+        inputs = {}
+        for arg in fn.args.args:
+            if arg.arg not in table:
+                raise StensoError(
+                    f"{path}: no shape for input {arg.arg!r} of kernel {fn.name!r} "
+                    "(declare it in SHAPES)"
+                )
+            inputs[arg.arg] = float_tensor(*table[arg.arg])
+        specs.append(
+            KernelSpec(fn.name, ast.get_source_segment(text, fn) or "", inputs)
+        )
+    return specs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="stenso",
         description="Superoptimize a NumPy tensor program via cost-guided symbolic synthesis.",
     )
     parser.add_argument("--program", type=Path, help="Source program in Python.")
+    parser.add_argument(
+        "--module",
+        type=Path,
+        default=None,
+        help="Optimize every function in this file as one journaled batch run.",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="Worker processes for --module runs (default: 1, sequential).",
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="Run id for the --module journal (default: generated).",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="Resume an interrupted --module run: journaled kernels are "
+        "restored without synthesis.",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="Journal root for --module runs (default: $STENSO_RUNS or results/runs/).",
+    )
     parser.add_argument(
         "--synth_out",
         type=Path,
@@ -139,6 +226,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_module(args: argparse.Namespace, config: SynthesisConfig) -> int:
+    """Journaled multi-kernel run (``--module``), resumable via ``--resume``."""
+    from repro.errors import JournalError
+    from repro.journal import open_run
+    from repro.pipeline import ModuleOptimizer
+    from repro.synth.cache import PersistentCache
+
+    try:
+        specs = load_module_kernels(args.module)
+    except StensoError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if args.cache is not None:
+        cache = PersistentCache(args.cache or None)
+
+    try:
+        journal = open_run(
+            config,
+            cost_model=args.cost_estimator,
+            run_id=args.run_id,
+            resume=args.resume,
+            root=args.runs_dir,
+        )
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    with journal:
+        print(f"run {journal.run_id} -> {journal.run_dir}", file=sys.stderr)
+        optimizer = ModuleOptimizer(
+            cost_model=args.cost_estimator, config=config, cache=cache
+        )
+        start = time.time()
+        try:
+            result = optimizer.optimize_module(
+                specs, parallel=args.parallel, journal=journal
+            )
+        except StensoError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    print(result.summary(), file=sys.stderr)
+    output = result.module_source()
+    if args.synth_out:
+        args.synth_out.write_text(output)
+        print(f"wrote {args.synth_out}", file=sys.stderr)
+    else:
+        print(output, end="")
+    print(f"total {time.time() - start:.1f}s", file=sys.stderr)
+    if result.interrupted:
+        print(
+            f"interrupted; finish with --resume {journal.run_id}", file=sys.stderr
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_benchmarks:
@@ -162,6 +307,12 @@ def main(argv: list[str] | None = None) -> int:
         max_solver_calls=args.budget,
         fault_plan=fault_plan,
     )
+
+    if args.module or args.resume:
+        if args.module is None:
+            print("error: --resume requires --module", file=sys.stderr)
+            return 2
+        return _run_module(args, config)
 
     if args.benchmark:
         bench = get_benchmark(args.benchmark)

@@ -54,3 +54,8 @@ class CostModelError(StensoError):
 
 class BenchmarkError(StensoError):
     """A benchmark definition is malformed or failed to execute."""
+
+
+class JournalError(StensoError):
+    """A run journal is missing, locked by another run, or was recorded
+    under a different synthesis configuration than the resuming one."""

@@ -1,0 +1,395 @@
+"""Crash-safe run journal: durable, resumable module-synthesis runs.
+
+Long STENSO runs (whole-suite sweeps like the paper's Fig. 5/6) die to OOM
+kills, preemption, and Ctrl-C; without durable state every interruption
+throws away all completed kernels.  :class:`RunJournal` is the write-ahead
+log that fixes this:
+
+* one directory per run, ``results/runs/<run_id>/`` (``$STENSO_RUNS``
+  overrides the root), holding an append-only ``journal.jsonl``;
+* the first line is a **checksummed header** binding the journal to the
+  :func:`~repro.synth.cache.synthesis_fingerprint` of the run's
+  ``(SynthesisConfig, cost model)`` — resuming under a different
+  configuration is refused rather than silently mixing incompatible results;
+* each kernel's :class:`~repro.pipeline.KernelOutcome` is appended **the
+  moment it completes**, as one checksummed JSON line, flushed and
+  ``fsync``\\ ed before the run moves on (a crash can lose at most the
+  in-flight kernel, never a completed one);
+* ``status`` lines record run transitions (``running`` → ``completed`` /
+  ``interrupted``).
+
+The reader is torn-write tolerant: a partial trailing line (the classic
+kill-mid-append artifact) is truncated and logged; an interior line that
+fails its checksum is skipped and logged; neither is ever a crash.  A
+per-run ``run.lock`` (:class:`~repro.resilience.FileLock`) guarantees a
+single writer per run id.
+
+``ModuleOptimizer.optimize_module(..., journal=...)`` and the parallel
+driver thread a journal through a run: already-journaled kernels are
+restored (after a cheap adversarial numeric re-verification) without any
+synthesis or solver calls, and SIGINT/SIGTERM stop dispatching, flush
+completed outcomes, and mark the run ``interrupted`` — see
+``docs/user_guide.md`` ("Crash recovery and resumable runs").
+
+The ``journal`` fault-injection site (:func:`repro.resilience.inject`) fires
+inside :meth:`RunJournal.record_outcome` right before the append: ``die``
+models a process killed mid-journal, ``corrupt`` writes the record as a torn
+half-line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import time
+import uuid
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.errors import JournalError
+from repro.resilience import FileLock, inject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cost.base import CostModel
+    from repro.pipeline import KernelOutcome, KernelSpec
+    from repro.synth.config import SynthesisConfig
+
+log = logging.getLogger(__name__)
+
+#: Bump when the on-disk journal format changes.
+JOURNAL_VERSION = 1
+
+#: Run states a journal can record.
+RUN_STATUSES = ("running", "completed", "interrupted")
+
+
+def default_runs_dir() -> Path:
+    """``$STENSO_RUNS`` or ``<repo>/results/runs``."""
+    env = os.environ.get("STENSO_RUNS")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[2] / "results" / "runs"
+
+
+def new_run_id() -> str:
+    """A sortable, collision-resistant run id (timestamp + random suffix)."""
+    return time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:6]
+
+
+def kernel_key(spec: "KernelSpec") -> str:
+    """Stable identity of one kernel: name, source, and input types."""
+    parts = [spec.name, spec.source]
+    for name in sorted(spec.inputs):
+        t = spec.inputs[name]
+        if hasattr(t, "dtype"):
+            parts.append(f"{name}:{t.dtype.value}{tuple(t.shape)}")
+        else:
+            parts.append(f"{name}:float{tuple(t)}")
+    return hashlib.sha1("\x1f".join(parts).encode()).hexdigest()[:16]
+
+
+def _checksum(payload: Mapping) -> str:
+    return hashlib.sha1(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:12]
+
+
+def _encode(payload: dict) -> str:
+    """One journal line: the payload plus its own checksum."""
+    return json.dumps({**payload, "checksum": _checksum(payload)}, sort_keys=True)
+
+
+def _fingerprint_of(config: "SynthesisConfig", cost_model: "CostModel | str") -> str:
+    from repro.cost import make_cost_model
+    from repro.synth.cache import synthesis_fingerprint
+
+    model = make_cost_model(cost_model) if isinstance(cost_model, str) else cost_model
+    return synthesis_fingerprint(config, model)
+
+
+class RunJournal:
+    """Write-ahead journal of one module-synthesis run.
+
+    Construct via :meth:`create` (new run) or :meth:`resume` (continue an
+    interrupted one); :meth:`read` opens a journal read-only for inspection
+    without locking or a fingerprint check.
+    """
+
+    def __init__(
+        self,
+        run_dir: Path,
+        run_id: str,
+        fingerprint: str,
+        config: "SynthesisConfig | None" = None,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_id = run_id
+        self.fingerprint = fingerprint
+        self.status = "running"
+        self.dropped_lines = 0
+        self._records: dict[str, dict] = {}
+        self._config = config
+        self._lock: FileLock | None = None
+        self._fh = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        config: "SynthesisConfig",
+        cost_model: "CostModel | str" = "flops",
+        run_id: str | None = None,
+        root: str | Path | None = None,
+    ) -> "RunJournal":
+        """Start journaling a new run (fails if ``run_id`` already exists)."""
+        run_id = run_id or new_run_id()
+        run_dir = Path(root) if root else default_runs_dir()
+        run_dir = run_dir / run_id
+        journal = cls(run_dir, run_id, _fingerprint_of(config, cost_model), config)
+        if journal.file.exists():
+            raise JournalError(
+                f"run {run_id!r} already exists at {journal.file}; "
+                "resume it instead of re-creating it"
+            )
+        journal._acquire()
+        journal._append(
+            _encode(
+                {
+                    "type": "header",
+                    "version": JOURNAL_VERSION,
+                    "run_id": run_id,
+                    "fingerprint": journal.fingerprint,
+                    "created_at": time.time(),
+                }
+            )
+        )
+        journal._append(_encode({"type": "status", "status": "running"}))
+        return journal
+
+    @classmethod
+    def resume(
+        cls,
+        run_id: str,
+        config: "SynthesisConfig",
+        cost_model: "CostModel | str" = "flops",
+        root: str | Path | None = None,
+    ) -> "RunJournal":
+        """Reopen an existing run for writing; restored kernels are skipped.
+
+        Raises :class:`~repro.errors.JournalError` when the run does not
+        exist, its header is unreadable, its fingerprint does not match the
+        resuming ``(config, cost model)``, or another process holds its lock.
+        """
+        journal = cls.read(run_id, root=root)
+        journal._config = config
+        expected = _fingerprint_of(config, cost_model)
+        if journal.fingerprint != expected:
+            raise JournalError(
+                f"run {run_id!r} was recorded under synthesis fingerprint "
+                f"{journal.fingerprint} but the resuming configuration has "
+                f"{expected}; results would not be comparable"
+            )
+        journal._acquire()
+        journal._repair_torn_tail()
+        journal.status = "running"
+        journal._append(_encode({"type": "status", "status": "running"}))
+        return journal
+
+    @classmethod
+    def read(cls, run_id: str, root: str | Path | None = None) -> "RunJournal":
+        """Open a journal read-only (no lock, no fingerprint check)."""
+        run_dir = (Path(root) if root else default_runs_dir()) / run_id
+        file = run_dir / "journal.jsonl"
+        if not file.exists():
+            raise JournalError(f"no journal for run {run_id!r} at {file}")
+        entries, dropped = cls._read_entries(file)
+        header = next((e for e in entries if e.get("type") == "header"), None)
+        if header is None or header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"run {run_id!r} has no readable version-{JOURNAL_VERSION} header"
+            )
+        journal = cls(run_dir, run_id, header.get("fingerprint", ""))
+        journal.dropped_lines = dropped
+        for entry in entries:
+            if entry.get("type") == "kernel" and "key" in entry:
+                journal._records[entry["key"]] = entry.get("outcome") or {}
+            elif entry.get("type") == "status":
+                journal.status = entry.get("status", journal.status)
+        return journal
+
+    # -- the write path --------------------------------------------------------
+
+    @property
+    def file(self) -> Path:
+        return self.run_dir / "journal.jsonl"
+
+    def _acquire(self) -> None:
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        lock = FileLock(self.run_dir / "run.lock")
+        if not lock.acquire(blocking=False):
+            raise JournalError(
+                f"run {self.run_id!r} is already being written by another process"
+            )
+        self._lock = lock
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a partial trailing line so appends start on a boundary."""
+        try:
+            size = self.file.stat().st_size
+        except OSError:
+            return
+        if size == 0:
+            return
+        with open(self.file, "rb+") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return
+            data = self.file.read_bytes()
+            keep = data.rfind(b"\n") + 1
+            fh.truncate(keep)
+            log.warning(
+                "journal %s: truncated %d bytes of torn trailing write",
+                self.file,
+                size - keep,
+            )
+
+    def _append(self, line: str, newline: bool = True) -> None:
+        """Atomically append one line (single O_APPEND write + fsync)."""
+        if self._fh is None:
+            self._fh = open(self.file, "a")
+        self._fh.write(line + ("\n" if newline else ""))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_outcome(self, spec: "KernelSpec", outcome: "KernelOutcome") -> None:
+        """Durably journal one completed kernel (write-ahead of any use)."""
+        key = kernel_key(spec)
+        payload = {
+            "type": "kernel",
+            "key": key,
+            "name": spec.name,
+            "outcome": asdict(outcome),
+        }
+        # Fault site: 'die' here models a crash after synthesis but before
+        # the outcome is durable — exactly the window resume must cover.
+        directive = inject("journal", key=spec.name, config=self._config)
+        line = _encode(payload)
+        if directive == "corrupt":
+            self._append(line[: len(line) // 2], newline=False)  # torn write
+            return
+        self._append(line)
+        self._records[key] = payload["outcome"]
+
+    def mark(self, status: str) -> None:
+        """Record a run-state transition (``completed`` / ``interrupted``)."""
+        if status not in RUN_STATUSES:
+            raise JournalError(f"unknown run status {status!r} (one of {RUN_STATUSES})")
+        self.status = status
+        self._append(_encode({"type": "status", "status": status}))
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the read path ---------------------------------------------------------
+
+    def __contains__(self, spec: "KernelSpec") -> bool:
+        return kernel_key(spec) in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def kernel_names(self) -> list[str]:
+        return [r.get("name", "?") for r in self._records.values()]
+
+    def restore(self, spec: "KernelSpec") -> "KernelOutcome | None":
+        """The journaled :class:`KernelOutcome` for ``spec``, or None.
+
+        A record whose payload no longer matches the ``KernelOutcome``
+        schema (e.g. written by a newer format) restores as None — the
+        kernel is simply re-synthesized.
+        """
+        from repro.pipeline import KernelOutcome
+
+        payload = self._records.get(kernel_key(spec))
+        if payload is None:
+            return None
+        try:
+            return KernelOutcome(**payload)
+        except TypeError:
+            log.warning(
+                "journal %s: record for %r does not match the outcome "
+                "schema; re-synthesizing",
+                self.file,
+                spec.name,
+            )
+            return None
+
+    @staticmethod
+    def _read_entries(file: Path) -> tuple[list[dict], int]:
+        """All checksum-valid entries, plus the count of dropped lines."""
+        try:
+            text = file.read_text(errors="replace")
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {file}: {exc}") from exc
+        entries: list[dict] = []
+        dropped = 0
+        lines = text.split("\n")
+        torn_tail = bool(lines and lines[-1])
+        for i, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                want = payload.pop("checksum", None)
+                if want != _checksum(payload):
+                    raise ValueError("checksum mismatch")
+            except Exception:
+                dropped += 1
+                if torn_tail and i == len(lines) - 1:
+                    log.warning("journal %s: dropped torn trailing line", file)
+                else:
+                    log.warning("journal %s: dropped corrupt line %d", file, i + 1)
+                continue
+            entries.append(payload)
+        return entries, dropped
+
+
+def list_runs(root: str | Path | None = None) -> list[str]:
+    """Run ids under ``root`` (newest last), for ``--resume`` discovery."""
+    runs_dir = Path(root) if root else default_runs_dir()
+    if not runs_dir.exists():
+        return []
+    return sorted(
+        p.parent.name for p in runs_dir.glob("*/journal.jsonl") if p.is_file()
+    )
+
+
+def open_run(
+    config: "SynthesisConfig",
+    cost_model: "CostModel | str" = "flops",
+    run_id: str | None = None,
+    resume: str | None = None,
+    root: str | Path | None = None,
+) -> RunJournal:
+    """Convenience front-end: resume ``resume`` if given, else create a run."""
+    if resume:
+        return RunJournal.resume(resume, config, cost_model, root=root)
+    return RunJournal.create(config, cost_model, run_id=run_id, root=root)

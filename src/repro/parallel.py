@@ -195,63 +195,114 @@ class ParallelModuleOptimizer:
         return self._seq.rules
 
     def optimize_module(
-        self, kernels: Sequence[KernelSpec], timeout_s: float | None = None
+        self,
+        kernels: Sequence[KernelSpec],
+        timeout_s: float | None = None,
+        journal=None,
     ) -> ModuleResult:
+        """Optimize ``kernels`` in parallel waves.
+
+        ``journal`` (a :class:`repro.journal.RunJournal`) makes the run
+        durable: kernels already journaled by an interrupted prior run are
+        restored up front (no worker, no solver calls), every newly resolved
+        outcome is appended to the journal as soon as the parent learns it,
+        and SIGINT/SIGTERM stop dispatching — running workers are killed,
+        completed outcomes stay journaled, and the partial result returns
+        with ``interrupted=True``.
+        """
         timeout_s = timeout_s if timeout_s is not None else self.policy.kernel_timeout_s
         if self.workers <= 1 or len(kernels) <= 1:
-            return self._seq.optimize_module(kernels, timeout_s=timeout_s)
+            return self._seq.optimize_module(
+                kernels, timeout_s=timeout_s, journal=journal
+            )
+
+        from contextlib import nullcontext
+
+        from repro.resilience import InterruptGuard
 
         outcomes: list[KernelOutcome | None] = [None] * len(kernels)
-        pending = list(enumerate(kernels))
+        pending: list[tuple[int, KernelSpec]] = []
+        for idx, spec in enumerate(kernels):
+            restored = self._seq.restore_from_journal(spec, journal)
+            if restored is not None:
+                outcomes[idx] = restored
+            else:
+                pending.append((idx, spec))
         unimproved_keys: set[str] = set()
         # Pattern key -> (status, error) of a representative that failed or
         # degraded: its duplicates share the verdict instead of re-paying the
         # same timeout/crash (same normalized problem, same fate).
         failed_keys: dict[str, tuple[str, str | None]] = {}
+        interrupted = False
 
-        while pending:
-            deferred: list[tuple[int, KernelSpec]] = []
-            wave: list[tuple[int, KernelSpec, str]] = []
-            wave_keys: set[str] = set()
-            for idx, spec in pending:
-                try:
-                    cached = self._seq.try_rule_cache(spec)
-                except Exception as exc:  # noqa: BLE001 — classify, don't crash
-                    outcomes[idx] = self._seq.failed_outcome(
-                        spec, "error", f"{type(exc).__name__}: {exc}"
-                    )
-                    continue
-                if cached is not None:
-                    outcomes[idx] = cached
-                    continue
-                key = _batch_key(spec, self.config)
-                if key in failed_keys:
-                    status, error = failed_keys[key]
-                    outcomes[idx] = self._seq.failed_outcome(
-                        spec, status, error or "pattern representative failed"
-                    )
-                    continue
-                if key in unimproved_keys:
-                    # This pattern already synthesized to "no improvement";
-                    # rerunning the search cannot change the verdict.
-                    outcomes[idx] = self._seq.unchanged_outcome(spec)
-                    continue
-                if key in wave_keys:
-                    deferred.append((idx, spec))  # wait for the representative
-                    continue
-                wave_keys.add(key)
-                wave.append((idx, spec, key))
+        guard = InterruptGuard() if journal is not None else nullcontext()
+        with guard as stop:
+            while pending:
+                if stop is not None and stop.requested():
+                    interrupted = True
+                    break
+                deferred: list[tuple[int, KernelSpec]] = []
+                wave: list[tuple[int, KernelSpec, str]] = []
+                wave_keys: set[str] = set()
+                for idx, spec in pending:
+                    try:
+                        cached = self._seq.try_rule_cache(spec)
+                    except Exception as exc:  # noqa: BLE001 — classify, don't crash
+                        outcomes[idx] = self._seq.failed_outcome(
+                            spec, "error", f"{type(exc).__name__}: {exc}"
+                        )
+                        self._journal(journal, spec, outcomes[idx])
+                        continue
+                    if cached is not None:
+                        outcomes[idx] = cached
+                        self._journal(journal, spec, cached)
+                        continue
+                    key = _batch_key(spec, self.config)
+                    if key in failed_keys:
+                        status, error = failed_keys[key]
+                        outcomes[idx] = self._seq.failed_outcome(
+                            spec, status, error or "pattern representative failed"
+                        )
+                        self._journal(journal, spec, outcomes[idx])
+                        continue
+                    if key in unimproved_keys:
+                        # This pattern already synthesized to "no improvement";
+                        # rerunning the search cannot change the verdict.
+                        outcomes[idx] = self._seq.unchanged_outcome(spec)
+                        self._journal(journal, spec, outcomes[idx])
+                        continue
+                    if key in wave_keys:
+                        deferred.append((idx, spec))  # wait for the representative
+                        continue
+                    wave_keys.add(key)
+                    wave.append((idx, spec, key))
 
-            if not wave:
-                break  # everything resolved via rule cache / dedup
-            self._run_wave(wave, unimproved_keys, failed_keys, outcomes, timeout_s)
-            pending = deferred
+                if not wave:
+                    break  # everything resolved via rule cache / dedup
+                self._run_wave(
+                    wave, unimproved_keys, failed_keys, outcomes, timeout_s,
+                    journal=journal, stop=stop,
+                )
+                if stop is not None and stop.requested():
+                    interrupted = True
+                    break
+                pending = deferred
 
         if self.cache is not None:
             self.cache.save()
+        if journal is not None:
+            journal.mark("interrupted" if interrupted else "completed")
         done = [o for o in outcomes if o is not None]
-        assert len(done) == len(kernels), "parallel driver dropped a kernel"
-        return ModuleResult(outcomes=done, rules=list(self._seq.rules))
+        if not interrupted:
+            assert len(done) == len(kernels), "parallel driver dropped a kernel"
+        return ModuleResult(
+            outcomes=done, rules=list(self._seq.rules), interrupted=interrupted
+        )
+
+    @staticmethod
+    def _journal(journal, spec: KernelSpec, outcome: KernelOutcome | None) -> None:
+        if journal is not None and outcome is not None:
+            journal.record_outcome(spec, outcome)
 
     # -- wave execution --------------------------------------------------------
 
@@ -262,6 +313,8 @@ class ParallelModuleOptimizer:
         failed_keys: dict[str, tuple[str, str | None]],
         outcomes: list[KernelOutcome | None],
         timeout_s: float | None,
+        journal=None,
+        stop=None,
     ) -> None:
         # Workers read the cache from disk: persist pending entries first.
         cache_path = None
@@ -293,6 +346,16 @@ class ParallelModuleOptimizer:
         results: dict[int, tuple[str, object]] = {}
 
         while queue or running:
+            if stop is not None and stop.requested():
+                # Graceful interruption: stop dispatching, kill in-flight
+                # workers (their kernels stay un-journaled and are redone on
+                # resume), keep every already-journaled outcome.
+                for r in running:
+                    _stop_process(r.proc, policy.kill_grace_s)
+                    r.conn.close()
+                running.clear()
+                queue.clear()
+                break
             now = time.monotonic()
             # Launch ready tasks into free slots.
             for task in [t for t in queue if t.ready_at <= now]:
@@ -362,12 +425,18 @@ class ParallelModuleOptimizer:
                 else:
                     kind, payload = msg
                     results[r.task.idx] = (kind, payload)
+                    if kind == "ok":
+                        # Write-ahead: the outcome is durable the moment the
+                        # parent learns it, not at end-of-wave merge.
+                        self._journal(journal, r.task.spec, payload[0])
             if (queue or running) and not progressed:
                 time.sleep(policy.poll_interval_s)
 
         # Merge in submission (kernel) order: rule merging and cache deltas
         # stay deterministic regardless of completion order.
         for idx, spec, key in wave:
+            if idx not in results:
+                continue  # interrupted before this kernel resolved
             kind, payload = results[idx]
             if kind == "crashed":
                 outcome = self._seq.optimize_kernel_guarded(spec, timeout_s=timeout_s)
@@ -389,6 +458,8 @@ class ParallelModuleOptimizer:
                     self._seq.absorb_rule(rule)
                 if self.cache is not None and delta:
                     self.cache.merge_delta(delta)
+            if kind != "ok":  # 'ok' outcomes were journaled at arrival
+                self._journal(journal, spec, outcome)
             outcomes[idx] = outcome
             if outcome.status == "ok":
                 if not outcome.improved:

@@ -23,6 +23,7 @@ from typing import Mapping, Sequence
 
 from repro.cost import CostModel, make_cost_model
 from repro.egraph import optimize_with_rules
+from repro.errors import StensoError
 from repro.ir.parser import Program, parse
 from repro.ir.printer import to_source
 from repro.ir.types import TensorType
@@ -90,10 +91,18 @@ class KernelOutcome:
 
 @dataclass
 class ModuleResult:
-    """Outcome of optimizing a whole kernel module."""
+    """Outcome of optimizing a whole kernel module.
+
+    ``interrupted`` is True when the run was stopped by SIGINT/SIGTERM
+    before every kernel completed: ``outcomes`` then holds only the
+    completed kernels (all of them durably journaled when a
+    :class:`repro.journal.RunJournal` was attached), and resuming the same
+    run id finishes the rest.
+    """
 
     outcomes: list[KernelOutcome]
     rules: list[MinedRule]
+    interrupted: bool = False
 
     @property
     def cache_hits(self) -> int:
@@ -132,6 +141,8 @@ class ModuleResult:
         failed = self.failed
         if failed:
             head += f", {len(failed)} failed"
+        if self.interrupted:
+            head += " [interrupted]"
         lines = [head]
         for o in self.outcomes:
             line = f"  {o.name:<20} {o.via:<11} est {o.speedup_estimate:5.2f}x"
@@ -319,6 +330,61 @@ class ModuleOptimizer:
             return
         self.absorb_rule(rule)
 
+    # -- journal restore -------------------------------------------------------
+
+    def restore_from_journal(self, spec: KernelSpec, journal) -> KernelOutcome | None:
+        """Reconstruct ``spec``'s outcome from a run journal, or None.
+
+        A restored *improved* outcome is cheaply re-verified (deterministic
+        adversarial + random numeric trials, no solver, no symbolic pass)
+        before being trusted, and its rewrite rule is re-mined so later
+        kernels see the same rule cache an uninterrupted run would have
+        built.  A record that fails re-verification is discarded and the
+        kernel re-synthesized — resume never weakens soundness.
+        """
+        if journal is None:
+            return None
+        outcome = journal.restore(spec)
+        if outcome is None:
+            return None
+        if outcome.improved:
+            if not self._reverify_restored(spec, outcome):
+                return None
+            if outcome.via == "synthesis":
+                # Mirror the uninterrupted run: only full synthesis mines a
+                # rule (rule-cache hits never did).
+                try:
+                    program = spec.parse()
+                    optimized = parse(
+                        outcome.optimized_source,
+                        dict(program.input_types),
+                        name=spec.name,
+                    ).node
+                except StensoError:
+                    return None
+                self._learn(program, optimized, spec.name)
+        return outcome
+
+    def _reverify_restored(self, spec: KernelSpec, outcome: KernelOutcome) -> bool:
+        """Cheap, sound re-verification of a journaled improved program."""
+        from repro.verify import verify_equivalence
+
+        try:
+            program = spec.parse()
+            candidate = parse(
+                outcome.optimized_source, dict(program.input_types), name=spec.name
+            ).node
+        except Exception:
+            return False
+        report = verify_equivalence(
+            program,
+            candidate,
+            numeric_trials=2,
+            symbolic=False,
+            shape_transport=False,
+        )
+        return report.passed
+
     def absorb_rule(self, rule: MinedRule) -> None:
         """Add a mined rule to the cache unless an equal rule is present."""
         if all(str(rule) != str(existing) for existing in self.rules):
@@ -332,6 +398,7 @@ class ModuleOptimizer:
         parallel: int = 1,
         timeout_s: float | None = None,
         policy=None,
+        journal=None,
     ) -> ModuleResult:
         """Optimize every kernel; ``parallel > 1`` fans out across processes.
 
@@ -343,6 +410,14 @@ class ModuleOptimizer:
         syncs learned rules back into this optimizer; ``policy`` (a
         :class:`repro.resilience.ResiliencePolicy`) tunes its retry and
         hard-kill behavior.
+
+        ``journal`` (a :class:`repro.journal.RunJournal`) makes the run
+        durable and resumable: every completed outcome is appended to the
+        journal the moment it exists, kernels already journaled by a prior
+        (interrupted) run are restored without synthesis, and SIGINT/SIGTERM
+        stop dispatching gracefully — completed work is flushed, the journal
+        is marked ``interrupted``, and the partial :class:`ModuleResult`
+        comes back with ``interrupted=True``.
         """
         if parallel > 1 and len(kernels) > 1:
             from repro.parallel import ParallelModuleOptimizer
@@ -355,14 +430,35 @@ class ModuleOptimizer:
                 cache=self.cache,
                 policy=policy,
             )
-            result = driver.optimize_module(kernels, timeout_s=timeout_s)
+            result = driver.optimize_module(
+                kernels, timeout_s=timeout_s, journal=journal
+            )
             for rule in result.rules:
                 self.absorb_rule(rule)
             return result
-        outcomes = [
-            self.optimize_kernel_guarded(spec, timeout_s=timeout_s)
-            for spec in kernels
-        ]
+
+        from contextlib import nullcontext
+
+        from repro.resilience import InterruptGuard
+
+        outcomes: list[KernelOutcome] = []
+        interrupted = False
+        guard = InterruptGuard() if journal is not None else nullcontext()
+        with guard as stop:
+            for spec in kernels:
+                if stop is not None and stop.requested():
+                    interrupted = True
+                    break
+                outcome = self.restore_from_journal(spec, journal)
+                if outcome is None:
+                    outcome = self.optimize_kernel_guarded(spec, timeout_s=timeout_s)
+                    if journal is not None:
+                        journal.record_outcome(spec, outcome)
+                outcomes.append(outcome)
         if self.cache is not None:
             self.cache.save()
-        return ModuleResult(outcomes=outcomes, rules=list(self.rules))
+        if journal is not None:
+            journal.mark("interrupted" if interrupted else "completed")
+        return ModuleResult(
+            outcomes=outcomes, rules=list(self.rules), interrupted=interrupted
+        )

@@ -26,7 +26,7 @@ Fault spec grammar (``$STENSO_FAULTS`` / ``--faults``)::
 
     spec  := rule (";" rule)*
     rule  := site ["[" scope "]"] ":" action ["=" value] ["@" n]
-    site  := solver | cache-read | worker | verify
+    site  := solver | cache-read | worker | verify | journal
     action:= raise | hang | corrupt | die
 
 ``scope`` restricts a rule to one kernel name (or cache section), ``value``
@@ -37,17 +37,33 @@ is the hang duration in seconds, and ``@n`` fires the rule only on the n-th
     solver:raise@3            # the third solver call raises FaultInjected
     worker:die@1              # the first worker attempt dies (os._exit)
     cache-read:corrupt        # cache files read back truncated
+    journal:die@2             # hard-exit right before the 2nd journal append
+
+The ``journal`` site fires in :meth:`repro.journal.RunJournal.record_outcome`
+just before a kernel's outcome is appended: ``die`` there models a process
+killed mid-journal (the record is lost, every earlier record survives and the
+run is resumable), ``corrupt`` writes the record as a torn half-line the
+reader must tolerate.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import BudgetExhausted, SynthesisTimeout
 
-_SITES = ("solver", "cache-read", "worker", "verify")
+try:  # POSIX advisory locking; Windows falls back to lockless operation
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+_SITES = ("solver", "cache-read", "worker", "verify", "journal")
 
 
 class FaultInjected(RuntimeError):
@@ -311,3 +327,130 @@ class ResiliencePolicy:
         if timeout_s is None:
             return None
         return timeout_s * self.hard_kill_factor + self.kill_grace_s
+
+
+# ---------------------------------------------------------------------------
+# Cross-process file locking
+# ---------------------------------------------------------------------------
+
+
+class LockTimeout(RuntimeError):
+    """A :class:`FileLock` could not be acquired within its timeout."""
+
+
+class FileLock:
+    """Advisory exclusive lock on a file (``fcntl.flock``), with timeout.
+
+    Used by :class:`repro.synth.cache.PersistentCache` and
+    :class:`repro.bench.store.SynthesisStore` to make read-merge-write saves
+    safe across concurrent processes sharing one directory, and by
+    :class:`repro.journal.RunJournal` to guarantee one writer per run id.
+
+    On platforms without ``fcntl`` the lock degrades to a no-op (single-process
+    semantics — the pre-lock behavior).  Locks are *advisory*: every
+    cooperating writer must take them; unrelated readers are unaffected.
+    """
+
+    def __init__(self, path: str | Path, timeout_s: float = 30.0, poll_s: float = 0.05):
+        self.path = Path(path)
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self._fh = None
+
+    @property
+    def held(self) -> bool:
+        return self._fh is not None
+
+    def acquire(self, blocking: bool = True) -> bool:
+        """Take the lock; False when non-blocking and already held elsewhere."""
+        if self._fh is not None:
+            return True
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "a+")
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            self._fh = fh
+            return True
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                self._fh = fh
+                return True
+            except OSError:
+                if not blocking:
+                    fh.close()
+                    return False
+                if time.monotonic() > deadline:
+                    fh.close()
+                    raise LockTimeout(
+                        f"could not acquire {self.path} within {self.timeout_s:g}s"
+                    ) from None
+                time.sleep(self.poll_s)
+
+    def release(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            fh.close()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+# ---------------------------------------------------------------------------
+# Graceful interruption (SIGINT / SIGTERM)
+# ---------------------------------------------------------------------------
+
+
+class InterruptGuard(contextlib.AbstractContextManager):
+    """Turns SIGINT/SIGTERM into a cooperative stop request.
+
+    Inside the ``with`` block the first signal only sets a flag — module runs
+    poll :meth:`requested` between kernels (sequential) or scheduler ticks
+    (parallel), stop dispatching, flush completed outcomes to the journal,
+    and return a partial result marked ``interrupted``.  A *second* SIGINT
+    raises :class:`KeyboardInterrupt` (the user really means it).  Handlers
+    are restored on exit; outside the main thread the guard installs nothing
+    and never reports a request (signal handlers are main-thread-only).
+    """
+
+    def __init__(self, signals=(signal.SIGINT, signal.SIGTERM)) -> None:
+        self.signals = signals
+        self._requested = False
+        self._count = 0
+        self._previous: dict = {}
+
+    def requested(self) -> bool:
+        return self._requested
+
+    def _handle(self, signum, frame) -> None:
+        self._requested = True
+        self._count += 1
+        if signum == signal.SIGINT and self._count > 1:
+            raise KeyboardInterrupt
+
+    def __enter__(self) -> "InterruptGuard":
+        if threading.current_thread() is threading.main_thread():
+            for sig in self.signals:
+                try:
+                    self._previous[sig] = signal.signal(sig, self._handle)
+                except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                    pass
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous.clear()
+        return None

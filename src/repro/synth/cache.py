@@ -20,7 +20,14 @@ wholesale on mismatch.
 
 Worker processes of :class:`repro.parallel.ParallelModuleOptimizer` each load
 the cache read-mostly and return a *delta* (new entries added during their
-run) which the parent merges and saves once — no cross-process file locking.
+run) which the parent merges and saves once.
+
+*Concurrent runs* (two independent processes sharing one cache directory)
+are safe too: :meth:`PersistentCache.save` holds a cross-process
+:class:`~repro.resilience.FileLock` across a read-merge-write — on-disk
+entries written by other processes since our load are merged back in before
+the section file is replaced, so the final file is the union of both runs'
+entries rather than last-writer-wins.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from typing import TYPE_CHECKING, Mapping
 import numpy as np
 
 from repro.ir.printer import to_expression
-from repro.resilience import inject
+from repro.resilience import FileLock, inject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cost.base import CostModel
@@ -221,17 +228,17 @@ class PersistentCache:
     def _file(self, section: str) -> Path:
         return self.path / f"{section}.json"
 
-    def _load(self, section: str) -> dict:
-        entries = self._sections.get(section)
-        if entries is not None:
-            return entries
-        entries = {}
+    def _read_file(self, section: str) -> dict:
+        """Read one section straight from disk (tolerant, never an error).
+
+        Another process may have been killed mid-write before the
+        atomic-save era, or the disk may hand back garbage: any unreadable /
+        structurally wrong file is an empty cache — the cache is an
+        accelerator, not a dependency.
+        """
+        entries: dict = {}
         file = self._file(section)
         if file.exists():
-            # Another process may have been killed mid-write before the
-            # atomic-save era, or the disk may hand back garbage: any
-            # unreadable / structurally wrong file is an empty cache, never
-            # an error — the cache is an accelerator, not a dependency.
             try:
                 text = file.read_text()
                 if inject("cache-read", key=section) == "corrupt":
@@ -243,30 +250,47 @@ class PersistentCache:
                     entries = {}
             except Exception:
                 entries = {}
-        self._sections[section] = entries
+        return entries
+
+    def _load(self, section: str) -> dict:
+        entries = self._sections.get(section)
+        if entries is None:
+            entries = self._read_file(section)
+            self._sections[section] = entries
         return entries
 
     def save(self) -> None:
-        """Persist dirty sections atomically."""
-        for section in sorted(self._dirty):
-            self.path.mkdir(parents=True, exist_ok=True)
-            payload = {
-                "version": CACHE_VERSION,
-                "entries": self._sections[section],
-            }
-            fd, tmp = tempfile.mkstemp(
-                dir=self.path, prefix=f".{section}-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh)
-                os.replace(tmp, self._file(section))
-            except BaseException:
+        """Persist dirty sections: locked, read-merge-write, atomic replace.
+
+        The read-merge-write under the directory lock is what makes two
+        concurrent runs sharing this cache directory end with the *union* of
+        their entries: entries another process saved after our load are
+        merged back in rather than overwritten (our own entries win a key
+        conflict, which is harmless — entries are content-addressed facts).
+        """
+        if not self._dirty:
+            return
+        self.path.mkdir(parents=True, exist_ok=True)
+        with FileLock(self.path / ".cache.lock"):
+            for section in sorted(self._dirty):
+                disk = self._read_file(section)
+                merged = dict(disk)
+                merged.update(self._sections[section])
+                self._sections[section] = merged
+                payload = {"version": CACHE_VERSION, "entries": merged}
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.path, prefix=f".{section}-", suffix=".tmp"
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "w") as fh:
+                        json.dump(payload, fh)
+                    os.replace(tmp, self._file(section))
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
         self._dirty.clear()
 
     def delta(self) -> dict[str, dict]:

@@ -3,7 +3,13 @@
 STENSO's outputs are "correct by construction" through symbolic equivalence,
 but this reproduction layers defense in depth (every check independent):
 
-1. **numeric trials** — random positive inputs, direct interpretation;
+1. **numeric trials** — deterministic *adversarial* inputs (all-zeros,
+   negatives, mixed signs, large magnitudes) followed by random positive
+   draws, direct interpretation.  The adversarial battery catches rewrites
+   that only hold on the random-draw domain (e.g. ``|A| -> A``, valid for
+   positive inputs only); an adversarial input on which the *reference*
+   itself is undefined (NaN/inf, domain error) is skipped, so rewrites like
+   ``log(exp(A)) -> A`` are not spuriously rejected;
 2. **symbolic equivalence** — SymPy specs of both programs compared;
 3. **shape transport** — the candidate re-verified at *other* shape
    assignments, derived by consistently re-mapping every distinct dimension
@@ -11,7 +17,9 @@ but this reproduction layers defense in depth (every check independent):
    cannot survive a mapping that makes the dims differ).
 
 ``verify_equivalence`` runs all applicable layers and returns a structured
-:class:`VerificationReport` saying exactly what was checked.
+:class:`VerificationReport` saying exactly what was checked.  Resumed runs
+(:mod:`repro.journal`) re-verify restored programs with the numeric layer
+alone — cheap, deterministic, and sound in the reject direction.
 """
 
 from __future__ import annotations
@@ -70,10 +78,77 @@ def _has_shape_attrs(node: Node) -> bool:
     return any(isinstance(n, Call) and n.attr("shape") is not None for n in node.walk())
 
 
+def _fill(shape: tuple[int, ...], values: Sequence[float]) -> np.ndarray:
+    """A deterministic array cycling through ``values`` in C order."""
+    size = int(np.prod(shape)) if shape else 1
+    flat = np.array([values[i % len(values)] for i in range(size)], dtype=float)
+    return flat.reshape(shape) if shape else flat.reshape(())
+
+
+#: Deterministic stress patterns: each is the value cycle of one input set.
+_ADVERSARIAL_PATTERNS: tuple[tuple[str, tuple[float, ...]], ...] = (
+    ("all-zeros", (0.0,)),
+    ("negatives", (-2.0, -0.5, -1.0)),
+    ("mixed-sign", (1.5, -2.5, 0.0, -0.25)),
+    ("large-magnitude", (1e3, -1e3, 2.5e3, -0.5e3)),
+)
+
+
+def adversarial_inputs(
+    types: Mapping[str, TensorType],
+) -> list[tuple[str, dict[str, np.ndarray]]]:
+    """Deterministic adversarial input sets for ``types``.
+
+    Complements the random positive draws of :func:`random_inputs`:
+    all-zeros, all-negative, mixed-sign, and large-magnitude values catch
+    candidates that only agree with the reference on ``(0.5, 2.0)`` draws.
+    Boolean tensors get deterministic all-False / all-True / alternating
+    masks instead.
+    """
+    from repro.ir.types import DType
+
+    out: list[tuple[str, dict[str, np.ndarray]]] = []
+    for label, values in _ADVERSARIAL_PATTERNS:
+        env: dict[str, np.ndarray] = {}
+        for name, t in types.items():
+            if t.dtype is DType.BOOL:
+                bools = {"all-zeros": (0.0,), "negatives": (1.0,)}.get(
+                    label, (1.0, 0.0)
+                )
+                env[name] = _fill(t.shape, bools) > 0.5
+            else:
+                env[name] = _fill(t.shape, values)
+        out.append((label, env))
+    return out
+
+
 def _numeric_agree(
     reference: Node, candidate: Node, types: Mapping[str, TensorType],
-    trials: int, seed: int, budget=None,
+    trials: int, seed: int, budget=None, adversarial: bool = True,
 ) -> str | None:
+    if adversarial:
+        # Overflow/invalid warnings are *expected* here: the battery probes
+        # the domain boundary, and non-finite reference outputs are skipped.
+        with np.errstate(all="ignore"):
+            for label, env in adversarial_inputs(types):
+                if budget is not None and budget.expired():
+                    return "verification budget exhausted"
+                try:
+                    want = np.asarray(evaluate(reference, env), dtype=float)
+                except Exception:
+                    continue  # reference undefined on this input: out of domain
+                if not np.all(np.isfinite(want)):
+                    continue  # NaN/inf reference output: comparison is undefined
+                try:
+                    got = np.asarray(evaluate(candidate, env), dtype=float)
+                except Exception as exc:
+                    return f"candidate failed on {label} inputs: {exc}"
+                if got.shape != want.shape:
+                    return (
+                        f"shape mismatch on {label} inputs: {got.shape} vs {want.shape}"
+                    )
+                if not np.allclose(got, want, rtol=1e-8, atol=1e-10):
+                    return f"numeric mismatch on {label} inputs"
     rng = np.random.default_rng(seed)
     for _ in range(trials):
         if budget is not None and budget.expired():
@@ -99,18 +174,21 @@ def verify_equivalence(
     shape_transport: bool = True,
     seed: int = 1729,
     budget=None,
+    adversarial: bool = True,
 ) -> VerificationReport:
     """Check that ``candidate`` computes the same function as ``reference``.
 
     ``budget`` (a :class:`repro.resilience.Budget`) bounds the whole check:
     when it expires between trials or layers, the report *fails* with a
     "budget exhausted" reason — verification can be cut short, but a partial
-    verification never reports success.
+    verification never reports success.  ``adversarial`` prepends the
+    deterministic :func:`adversarial_inputs` battery to the random trials.
     """
     types = reference.input_types
 
     reason = _numeric_agree(
-        reference.node, candidate, types, numeric_trials, seed, budget=budget
+        reference.node, candidate, types, numeric_trials, seed, budget=budget,
+        adversarial=adversarial,
     )
     if reason is not None:
         return _fail(reason, numeric_trials=numeric_trials)
@@ -145,7 +223,8 @@ def verify_equivalence(
             except StensoError:
                 continue  # shape-literal sources cannot transport; skip
             reason = _numeric_agree(
-                alt_reference.node, alt_candidate, alt_types, max(numeric_trials - 1, 1), seed + 1
+                alt_reference.node, alt_candidate, alt_types,
+                max(numeric_trials - 1, 1), seed + 1, adversarial=adversarial,
             )
             if reason is not None:
                 return _fail(

@@ -41,7 +41,7 @@ class TestVerifyEquivalence:
         candidate = parse("A - B.T", TYPES).node
         report = verify_equivalence(reference, candidate)
         assert not report.passed
-        assert report.failure == "numeric mismatch"
+        assert "numeric mismatch" in report.failure
 
     def test_shape_change_detected(self):
         reference = parse("np.sum(A, axis=0)", TYPES)
