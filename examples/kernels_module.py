@@ -1,0 +1,38 @@
+"""A small multi-kernel module for batch CLI runs.
+
+Feed it to the batch driver to see module-level synthesis, journaling, and
+telemetry end to end::
+
+    stenso --module examples/kernels_module.py --parallel 2 --trace
+    repro-trace summary results/runs/<run_id>/trace.json
+
+The kernels are deliberately tiny and fast: two simplify to identities via
+base-case matches, one decomposes through sketches (exercising the solver
+and the branch-and-bound pruning that the trace's ``prune`` instants
+record), and one is already optimal (ends ``unchanged``).
+"""
+
+import numpy as np
+
+SHAPES = {
+    "log_exp": {"A": (2, 2)},
+    "double_transpose": {"C": (2, 3)},
+    "diag_matmul": {"A": (2, 2), "B": (2, 2)},
+    "already_optimal": {"x": (3,), "y": (3,)},
+}
+
+
+def log_exp(A):
+    return np.log(np.exp(A))
+
+
+def double_transpose(C):
+    return np.transpose(np.transpose(C))
+
+
+def diag_matmul(A, B):
+    return np.diag(np.dot(A, B))
+
+
+def already_optimal(x, y):
+    return x + y

@@ -10,7 +10,6 @@ paper's observation that superoptimization is a cacheable one-time cost.
 from __future__ import annotations
 
 import json
-import logging
 import os
 import tempfile
 from dataclasses import asdict, dataclass, field
@@ -18,10 +17,11 @@ from pathlib import Path
 
 from repro.bench.suite import Benchmark, get_benchmark
 from repro.cost import make_cost_model
+from repro.obs.log import get_logger
 from repro.resilience import FileLock
 from repro.synth.config import SynthesisConfig
 
-log = logging.getLogger(__name__)
+log = get_logger(__name__)
 
 DEFAULT_STORE_PATH = Path(
     os.environ.get("STENSO_STORE", Path(__file__).resolve().parents[3] / "results" / "synthesis.json")
@@ -78,7 +78,7 @@ class SynthesisStore:
         try:
             raw_records = json.loads(self.path.read_text())
         except Exception:
-            log.warning("synthesis store %s is unreadable; starting empty", self.path)
+            log.warning("synthesis store unreadable; starting empty", path=str(self.path))
             return records
         if not isinstance(raw_records, dict):
             return records

@@ -223,7 +223,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="Print a full optimization report (cost breakdown, class, mined rule).",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="Record a span trace of the run (search, solver, enumeration, "
+        "verification) under results/runs/<run_id>/; inspect with repro-trace.",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="Trace export format: 'chrome' (trace.json, loads in "
+        "chrome://tracing / Perfetto) or 'jsonl' (trace.jsonl, compact; "
+        "both are readable by repro-trace). Default: chrome.",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="Emit structured logs as one JSON object per line on stderr.",
+    )
     return parser
+
+
+def _export_run_telemetry(tracer, run_dir: Path, fmt: str, metrics: dict | None) -> None:
+    """Write trace + metrics files for a traced run (best-effort)."""
+    import json as _json
+
+    tracer.close_open_spans()
+    if fmt == "jsonl":
+        trace_path = run_dir / "trace.jsonl"
+        ok = tracer.export_jsonl(trace_path)
+    else:
+        trace_path = run_dir / "trace.json"
+        ok = tracer.export_chrome(trace_path)
+    if ok:
+        print(f"trace -> {trace_path}", file=sys.stderr)
+    if metrics is not None:
+        try:
+            metrics_path = run_dir / "metrics.json"
+            metrics_path.parent.mkdir(parents=True, exist_ok=True)
+            metrics_path.write_text(_json.dumps(metrics, indent=1, sort_keys=True))
+            print(f"metrics -> {metrics_path}", file=sys.stderr)
+        except Exception:  # noqa: BLE001 — telemetry export is best-effort
+            pass
 
 
 def _run_module(args: argparse.Namespace, config: SynthesisConfig) -> int:
@@ -268,6 +310,13 @@ def _run_module(args: argparse.Namespace, config: SynthesisConfig) -> int:
         except StensoError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        if args.trace:
+            from repro.obs.trace import get_tracer
+
+            _export_run_telemetry(
+                get_tracer(), journal.run_dir, args.trace_format,
+                result.metrics_rollup(),
+            )
 
     print(result.summary(), file=sys.stderr)
     output = result.module_source()
@@ -290,6 +339,14 @@ def main(argv: list[str] | None = None) -> int:
         for name in benchmark_names():
             print(name)
         return 0
+
+    from repro.obs.log import configure as configure_logging
+
+    configure_logging(json_mode=args.log_json)
+    if args.trace:
+        from repro.obs.trace import Tracer, install_tracer
+
+        install_tracer(Tracer())
 
     fault_plan = None
     if args.faults:
@@ -357,6 +414,16 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if cache is not None:
         cache.save()
+
+    if args.trace:
+        from repro.journal import default_runs_dir, new_run_id
+        from repro.obs.trace import get_tracer
+
+        run_root = Path(args.runs_dir) if args.runs_dir else default_runs_dir()
+        run_dir = run_root / (args.run_id or new_run_id())
+        _export_run_telemetry(
+            get_tracer(), run_dir, args.trace_format, result.stats.metrics_snapshot()
+        )
 
     print(result.summary(), file=sys.stderr)
     if args.stats:

@@ -107,6 +107,12 @@ def saturate(
     max_nodes: int = 10_000,
 ) -> SaturationStats:
     """Run equality saturation to a fixed point or budget exhaustion."""
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    sat_span = (
+        tracer.begin("saturate", "egraph", rules=len(rules)) if tracer.enabled else None
+    )
     stats = SaturationStats()
     for _ in range(max_iterations):
         stats.iterations += 1
@@ -135,4 +141,12 @@ def saturate(
             break
     stats.nodes = egraph.num_nodes
     stats.classes = egraph.num_classes
+    if sat_span is not None:
+        tracer.end(
+            sat_span,
+            iterations=stats.iterations,
+            matches=stats.matches,
+            merges=stats.merges,
+            saturated=stats.saturated,
+        )
     return stats

@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import os
 import time
 import uuid
@@ -50,6 +49,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.errors import JournalError
+from repro.obs.log import get_logger
 from repro.resilience import FileLock, inject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,7 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline import KernelOutcome, KernelSpec
     from repro.synth.config import SynthesisConfig
 
-log = logging.getLogger(__name__)
+log = get_logger(__name__)
 
 #: Bump when the on-disk journal format changes.
 JOURNAL_VERSION = 1
@@ -130,6 +130,8 @@ class RunJournal:
         self.fingerprint = fingerprint
         self.status = "running"
         self.dropped_lines = 0
+        #: Metrics rollup from the final status line, when one was recorded.
+        self.final_metrics: dict | None = None
         self._records: dict[str, dict] = {}
         self._config = config
         self._lock: FileLock | None = None
@@ -219,6 +221,8 @@ class RunJournal:
                 journal._records[entry["key"]] = entry.get("outcome") or {}
             elif entry.get("type") == "status":
                 journal.status = entry.get("status", journal.status)
+                if "metrics" in entry:
+                    journal.final_metrics = entry["metrics"]
         return journal
 
     # -- the write path --------------------------------------------------------
@@ -252,9 +256,9 @@ class RunJournal:
             keep = data.rfind(b"\n") + 1
             fh.truncate(keep)
             log.warning(
-                "journal %s: truncated %d bytes of torn trailing write",
-                self.file,
-                size - keep,
+                "journal torn trailing write truncated",
+                file=str(self.file),
+                bytes=size - keep,
             )
 
     def _append(self, line: str, newline: bool = True) -> None:
@@ -284,12 +288,22 @@ class RunJournal:
         self._append(line)
         self._records[key] = payload["outcome"]
 
-    def mark(self, status: str) -> None:
-        """Record a run-state transition (``completed`` / ``interrupted``)."""
+    def mark(self, status: str, metrics: Mapping | None = None) -> None:
+        """Record a run-state transition (``completed`` / ``interrupted``).
+
+        ``metrics`` — a module-wide metrics rollup (see
+        :meth:`repro.pipeline.ModuleResult.metrics_rollup`) — rides along on
+        the status line so a completed journal carries the run's final
+        telemetry; :attr:`final_metrics` exposes it on read-back.
+        """
         if status not in RUN_STATUSES:
             raise JournalError(f"unknown run status {status!r} (one of {RUN_STATUSES})")
         self.status = status
-        self._append(_encode({"type": "status", "status": status}))
+        payload: dict = {"type": "status", "status": status}
+        if metrics is not None:
+            payload["metrics"] = dict(metrics)
+            self.final_metrics = dict(metrics)
+        self._append(_encode(payload))
 
     def close(self) -> None:
         if self._fh is not None:
@@ -335,10 +349,9 @@ class RunJournal:
             return KernelOutcome(**payload)
         except TypeError:
             log.warning(
-                "journal %s: record for %r does not match the outcome "
-                "schema; re-synthesizing",
-                self.file,
-                spec.name,
+                "journal record does not match outcome schema; re-synthesizing",
+                file=str(self.file),
+                kernel=spec.name,
             )
             return None
 
@@ -364,9 +377,11 @@ class RunJournal:
             except Exception:
                 dropped += 1
                 if torn_tail and i == len(lines) - 1:
-                    log.warning("journal %s: dropped torn trailing line", file)
+                    log.warning("journal dropped torn trailing line", file=str(file))
                 else:
-                    log.warning("journal %s: dropped corrupt line %d", file, i + 1)
+                    log.warning(
+                        "journal dropped corrupt line", file=str(file), line=i + 1
+                    )
                 continue
             entries.append(payload)
         return entries, dropped

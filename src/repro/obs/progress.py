@@ -1,0 +1,113 @@
+"""Live per-kernel progress for parallel module runs.
+
+The parallel driver feeds a :class:`ProgressBoard` from worker trace events
+(forwarded over the result Pipe): each kernel shows its status, elapsed
+wall-time, and DFS nodes expanded so far.  On a TTY the board redraws one
+carriage-return line; on a plain stream (CI logs) it prints a line only on
+state *changes*, so logs stay readable.
+
+Rendering is best-effort and throttled; a broken stream never interrupts
+the run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+
+class ProgressBoard:
+    """Tracks and renders per-kernel progress of one module run."""
+
+    def __init__(self, total: int, stream=None, enabled: bool | None = None) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            forced = os.environ.get("STENSO_PROGRESS")
+            if forced is not None:
+                enabled = forced not in ("", "0", "false")
+            else:
+                enabled = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.enabled = enabled
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._state: dict[str, dict] = {}
+        self._done = 0
+        self._last_render = 0.0
+        self._dirty = False
+
+    # -- updates ---------------------------------------------------------------
+
+    def start(self, kernel: str) -> None:
+        self._state[kernel] = {
+            "status": "running",
+            "started": time.monotonic(),
+            "nodes": 0,
+        }
+        self._dirty = True
+        self._render(transition=True)
+
+    def nodes(self, kernel: str, expanded: int) -> None:
+        entry = self._state.get(kernel)
+        if entry is None:
+            return
+        entry["nodes"] = expanded
+        self._dirty = True
+        self._render(throttle=True)
+
+    def finish(self, kernel: str, status: str) -> None:
+        entry = self._state.get(kernel)
+        if entry is None:
+            # Kernel resolved without a start() (journal restore, rule-cache
+            # hit, dedup): it still counts toward completion.
+            entry = {"status": "running", "started": time.monotonic(), "nodes": 0}
+            self._state[kernel] = entry
+        if entry["status"] == "running":
+            self._done += 1
+        entry["status"] = status
+        self._dirty = True
+        self._render(transition=True)
+
+    def close(self) -> None:
+        if self.enabled and self._tty:
+            self._write("\n")
+
+    # -- rendering -------------------------------------------------------------
+
+    def _line(self) -> str:
+        running = [
+            (name, e) for name, e in self._state.items() if e["status"] == "running"
+        ]
+        now = time.monotonic()
+        cells = []
+        for name, entry in running[:3]:
+            cells.append(
+                f"{name} {now - entry['started']:.0f}s/{entry['nodes']}n"
+            )
+        if len(running) > 3:
+            cells.append(f"+{len(running) - 3} more")
+        detail = "; ".join(cells) if cells else "idle"
+        return f"[{self._done}/{self.total}] {detail}"
+
+    def _render(self, throttle: bool = False, transition: bool = False) -> None:
+        if not self.enabled or not self._dirty:
+            return
+        now = time.monotonic()
+        if throttle and now - self._last_render < 0.1:
+            return
+        if not self._tty and not transition:
+            return  # non-TTY: only state transitions, one full line each
+        self._last_render = now
+        self._dirty = False
+        if self._tty:
+            line = self._line()
+            self._write("\r" + line[:118].ljust(118))
+        else:
+            self._write(self._line() + "\n")
+
+    def _write(self, text: str) -> None:
+        try:
+            self.stream.write(text)
+            self.stream.flush()
+        except Exception:  # noqa: BLE001 — progress is decoration, never a failure
+            self.enabled = False

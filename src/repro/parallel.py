@@ -44,6 +44,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cost import CostModel, make_cost_model
+from repro.obs.progress import ProgressBoard
+from repro.obs.trace import PipeSink, Tracer, get_tracer, install_tracer
 from repro.pipeline import KernelOutcome, KernelSpec, ModuleOptimizer, ModuleResult
 from repro.resilience import ResiliencePolicy, inject
 from repro.rules.mining import MinedRule
@@ -97,7 +99,7 @@ def _synthesize_worker(
     return outcome, optimizer.rules, delta
 
 
-def _worker_main(conn, spec, cost_model, config, cache_path, attempt) -> None:
+def _worker_main(conn, spec, cost_model, config, cache_path, attempt, trace=False) -> None:
     """Worker-process entry point: synthesize and ship the result back.
 
     An exception inside synthesis is sent as ``('error', message)`` — it is
@@ -106,10 +108,30 @@ def _worker_main(conn, spec, cost_model, config, cache_path, attempt) -> None:
     parent sees the dead process and retries.  ``attempt`` is the parent's
     1-based retry counter, passed to the fault site so plans can model
     transient failures (``worker:die@1`` kills only the first attempt).
+
+    With ``trace=True`` the worker installs a :class:`~repro.obs.trace.Tracer`
+    whose sink forwards event batches over the same pipe as ``('trace',
+    batch)`` messages, interleaved before the final result; the parent merges
+    them into its own tracer (rebasing the worker's clock) and feeds the live
+    progress board.  Tracing is best-effort: a failing sink silently disables
+    itself and the synthesis result still arrives.
     """
+    tracer = None
+    if trace:
+        try:
+            tracer = Tracer(process=f"worker:{spec.name}", sink=PipeSink(conn))
+            install_tracer(tracer)
+        except Exception:
+            tracer = None
     try:
         inject("worker", key=spec.name, index=attempt, config=config)
         payload = _synthesize_worker(spec, cost_model, config, cache_path)
+        if tracer is not None:
+            try:
+                tracer.close_open_spans()
+                tracer.flush()
+            except Exception:
+                pass
         conn.send(("ok", payload))
     except BaseException as exc:  # noqa: BLE001 — report, never hang the parent
         try:
@@ -220,12 +242,14 @@ class ParallelModuleOptimizer:
 
         from repro.resilience import InterruptGuard
 
+        board = ProgressBoard(len(kernels))
         outcomes: list[KernelOutcome | None] = [None] * len(kernels)
         pending: list[tuple[int, KernelSpec]] = []
         for idx, spec in enumerate(kernels):
             restored = self._seq.restore_from_journal(spec, journal)
             if restored is not None:
                 outcomes[idx] = restored
+                board.finish(spec.name, "restored")
             else:
                 pending.append((idx, spec))
         unimproved_keys: set[str] = set()
@@ -256,6 +280,7 @@ class ParallelModuleOptimizer:
                     if cached is not None:
                         outcomes[idx] = cached
                         self._journal(journal, spec, cached)
+                        board.finish(spec.name, "rule-cache")
                         continue
                     key = _batch_key(spec, self.config)
                     if key in failed_keys:
@@ -264,12 +289,14 @@ class ParallelModuleOptimizer:
                             spec, status, error or "pattern representative failed"
                         )
                         self._journal(journal, spec, outcomes[idx])
+                        board.finish(spec.name, status)
                         continue
                     if key in unimproved_keys:
                         # This pattern already synthesized to "no improvement";
                         # rerunning the search cannot change the verdict.
                         outcomes[idx] = self._seq.unchanged_outcome(spec)
                         self._journal(journal, spec, outcomes[idx])
+                        board.finish(spec.name, "unchanged")
                         continue
                     if key in wave_keys:
                         deferred.append((idx, spec))  # wait for the representative
@@ -281,28 +308,54 @@ class ParallelModuleOptimizer:
                     break  # everything resolved via rule cache / dedup
                 self._run_wave(
                     wave, unimproved_keys, failed_keys, outcomes, timeout_s,
-                    journal=journal, stop=stop,
+                    journal=journal, stop=stop, board=board,
                 )
                 if stop is not None and stop.requested():
                     interrupted = True
                     break
                 pending = deferred
 
+        board.close()
         if self.cache is not None:
             self.cache.save()
-        if journal is not None:
-            journal.mark("interrupted" if interrupted else "completed")
         done = [o for o in outcomes if o is not None]
         if not interrupted:
             assert len(done) == len(kernels), "parallel driver dropped a kernel"
-        return ModuleResult(
+        result = ModuleResult(
             outcomes=done, rules=list(self._seq.rules), interrupted=interrupted
         )
+        if journal is not None:
+            journal.mark(
+                "interrupted" if interrupted else "completed",
+                metrics=result.metrics_rollup(),
+            )
+        return result
 
     @staticmethod
     def _journal(journal, spec: KernelSpec, outcome: KernelOutcome | None) -> None:
         if journal is not None and outcome is not None:
             journal.record_outcome(spec, outcome)
+
+    @staticmethod
+    def _absorb_trace(
+        parent_tracer,
+        task: "_Task",
+        batch,
+        board: ProgressBoard | None,
+        node_counts: dict[str, int],
+    ) -> None:
+        """Merge one forwarded worker event batch (strictly best-effort)."""
+        try:
+            if parent_tracer.enabled:
+                parent_tracer.add_events(batch, worker=task.idx)
+            if board is not None:
+                expanded = sum(1 for e in batch if e.get("name") == "dfs")
+                if expanded:
+                    name = task.spec.name
+                    node_counts[name] = node_counts.get(name, 0) + expanded
+                    board.nodes(name, node_counts[name])
+        except Exception:  # noqa: BLE001 — telemetry must never fail the wave
+            pass
 
     # -- wave execution --------------------------------------------------------
 
@@ -315,6 +368,7 @@ class ParallelModuleOptimizer:
         timeout_s: float | None,
         journal=None,
         stop=None,
+        board: ProgressBoard | None = None,
     ) -> None:
         # Workers read the cache from disk: persist pending entries first.
         cache_path = None
@@ -340,6 +394,11 @@ class ParallelModuleOptimizer:
         # machine — isolation beats contention here).
         max_workers = max(1, min(self.workers, len(wave)))
         ctx = mp.get_context()
+        parent_tracer = get_tracer()
+        # Forward worker trace events whenever the parent traces *or* a live
+        # progress board wants per-kernel node counts.
+        forward_trace = parent_tracer.enabled or (board is not None and board.enabled)
+        node_counts: dict[str, int] = {}
 
         queue: list[_Task] = [_Task(idx, spec, key) for idx, spec, key in wave]
         running: list[_Running] = []
@@ -372,6 +431,7 @@ class ParallelModuleOptimizer:
                         worker_config,
                         cache_path,
                         task.attempt,
+                        forward_trace,
                     ),
                     daemon=True,
                 )
@@ -379,16 +439,32 @@ class ParallelModuleOptimizer:
                 child_conn.close()
                 deadline = now + hard_timeout if hard_timeout is not None else None
                 running.append(_Running(task, proc, parent_conn, deadline))
+                if board is not None:
+                    board.start(task.spec.name)
 
             progressed = False
             for r in list(running):
+                # Drain the pipe: interleaved ('trace', batch) messages are
+                # absorbed (parent tracer merge + progress board) until the
+                # final ('ok'|'error', payload) message or an empty pipe.
                 msg = _STILL_RUNNING
-                if r.conn.poll(0):
-                    try:
-                        msg = r.conn.recv()
-                    except (EOFError, OSError):
-                        msg = None  # died mid-send: treat as a crash
-                elif not r.proc.is_alive():
+                try:
+                    while r.conn.poll(0):
+                        received = r.conn.recv()
+                        if (
+                            isinstance(received, tuple)
+                            and len(received) == 2
+                            and received[0] == "trace"
+                        ):
+                            self._absorb_trace(
+                                parent_tracer, r.task, received[1], board, node_counts
+                            )
+                            continue
+                        msg = received
+                        break
+                except (EOFError, OSError):
+                    msg = None  # died mid-send: treat as a crash
+                if msg is _STILL_RUNNING and not r.proc.is_alive():
                     msg = None  # died without reporting: crash
                 if msg is _STILL_RUNNING:
                     if (
@@ -405,6 +481,8 @@ class ParallelModuleOptimizer:
                             f"kernel exceeded its {effective_timeout:g}s deadline; "
                             "worker killed",
                         )
+                        if board is not None:
+                            board.finish(r.task.spec.name, "timeout")
                         progressed = True
                     continue
                 running.remove(r)
@@ -422,6 +500,8 @@ class ParallelModuleOptimizer:
                         queue.append(task)
                     else:
                         results[task.idx] = ("crashed", None)
+                        if board is not None:
+                            board.finish(task.spec.name, "crashed")
                 else:
                     kind, payload = msg
                     results[r.task.idx] = (kind, payload)
@@ -429,6 +509,10 @@ class ParallelModuleOptimizer:
                         # Write-ahead: the outcome is durable the moment the
                         # parent learns it, not at end-of-wave merge.
                         self._journal(journal, r.task.spec, payload[0])
+                        if board is not None:
+                            board.finish(r.task.spec.name, payload[0].status)
+                    elif board is not None:
+                        board.finish(r.task.spec.name, kind)
             if (queue or running) and not progressed:
                 time.sleep(policy.poll_interval_s)
 

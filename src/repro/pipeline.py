@@ -83,6 +83,10 @@ class KernelOutcome:
     synthesis_seconds: float = 0.0
     status: str = "ok"  # 'ok' | 'degraded' | 'timeout' | 'error'
     error: str | None = None
+    #: Metrics-registry snapshot from the synthesis run (see
+    #: :mod:`repro.obs.metrics`); empty for rule-cache hits and pass-throughs.
+    #: JSON-native (only dicts/lists/scalars) so it round-trips the journal.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def speedup_estimate(self) -> float:
@@ -123,6 +127,16 @@ class ModuleResult:
             counts[o.status] = counts.get(o.status, 0) + 1
         return counts
 
+    def metrics_rollup(self) -> dict:
+        """Module-wide metrics: per-kernel snapshots merged deterministically
+        (counters and histograms sum, gauges take the max)."""
+        from repro.obs.metrics import empty_snapshot, merge_snapshots
+
+        snapshots = [o.metrics for o in self.outcomes if o.metrics]
+        if not snapshots:
+            return empty_snapshot()
+        return merge_snapshots(snapshots)
+
     def module_source(self) -> str:
         """One importable Python module containing every optimized kernel."""
         parts = ['"""Kernels optimized by STENSO (repro.pipeline)."""', "", "import numpy as np", "", ""]
@@ -151,7 +165,37 @@ class ModuleResult:
                 if o.error:
                     line += f" {o.error}"
             lines.append(line)
+        metrics_line = self._metrics_line()
+        if metrics_line:
+            lines.append(metrics_line)
         return "\n".join(lines)
+
+    def _metrics_line(self) -> str:
+        """Deterministic search-counter rollup for :meth:`summary`.
+
+        Only counters whose values are identical across warm/cold-cache runs
+        appear here (``summary()`` output is byte-compared across separate
+        runs in the resume tests): node/prune/match/memo counts, and *total*
+        solver queries — ``solver.calls + solver.cache_hits`` is invariant
+        under cache state even though the split is not.  Wall-time histograms
+        stay in the trace/journal only.
+        """
+        rollup = self.metrics_rollup()
+        counters = rollup.get("counters", {})
+        if not counters:
+            return ""
+        nodes = counters.get("search.nodes_expanded", 0)
+        pruned_bound = counters.get("search.prune.bound", 0)
+        pruned_simpl = counters.get("search.prune.simplification", 0)
+        matches = counters.get("search.base_case_matches", 0)
+        memo = counters.get("search.memo_hits", 0)
+        queries = counters.get("solver.calls", 0) + counters.get("solver.cache_hits", 0)
+        return (
+            f"  metrics: {nodes} nodes, "
+            f"{pruned_bound + pruned_simpl} pruned "
+            f"(bound {pruned_bound}, simplification {pruned_simpl}), "
+            f"{matches} base matches, {memo} memo hits, {queries} solver queries"
+        )
 
 
 class ModuleOptimizer:
@@ -292,6 +336,7 @@ class ModuleOptimizer:
             cache=self.cache,
         )
         status = "degraded" if result.stats.timed_out else "ok"
+        metrics = result.stats.metrics_snapshot()
         if result.improved:
             self._learn(result.program, result.optimized, spec.name)
             optimized_source = to_source(
@@ -310,6 +355,7 @@ class ModuleOptimizer:
                 optimized_cost=optimized_cost,
                 synthesis_seconds=result.synthesis_seconds,
                 status=status,
+                metrics=metrics,
             )
         return KernelOutcome(
             name=spec.name,
@@ -321,6 +367,7 @@ class ModuleOptimizer:
             optimized_cost=original_cost,
             synthesis_seconds=result.synthesis_seconds,
             status=status,
+            metrics=metrics,
         )
 
     def _learn(self, program: Program, optimized, name: str) -> None:
@@ -441,6 +488,9 @@ class ModuleOptimizer:
 
         from repro.resilience import InterruptGuard
 
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
         outcomes: list[KernelOutcome] = []
         interrupted = False
         guard = InterruptGuard() if journal is not None else nullcontext()
@@ -451,14 +501,25 @@ class ModuleOptimizer:
                     break
                 outcome = self.restore_from_journal(spec, journal)
                 if outcome is None:
+                    kernel_span = (
+                        tracer.begin("kernel", "pipeline", kernel=spec.name)
+                        if tracer.enabled
+                        else None
+                    )
                     outcome = self.optimize_kernel_guarded(spec, timeout_s=timeout_s)
+                    if kernel_span is not None:
+                        tracer.end(kernel_span, via=outcome.via, status=outcome.status)
                     if journal is not None:
                         journal.record_outcome(spec, outcome)
                 outcomes.append(outcome)
         if self.cache is not None:
             self.cache.save()
-        if journal is not None:
-            journal.mark("interrupted" if interrupted else "completed")
-        return ModuleResult(
+        result = ModuleResult(
             outcomes=outcomes, rules=list(self.rules), interrupted=interrupted
         )
+        if journal is not None:
+            journal.mark(
+                "interrupted" if interrupted else "completed",
+                metrics=result.metrics_rollup(),
+            )
+        return result

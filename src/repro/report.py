@@ -70,6 +70,12 @@ def render_report(result: SynthesisResult, cost_model: CostModel) -> str:
         f"{result.stats.solver_calls} solver calls, "
         f"{result.stats.stub_count} stubs / {result.stats.sketch_count} sketches"
     )
+    w(f"stages   : {result.stats.profile_summary()}")
+    w(
+        f"pruning  : {result.stats.pruned_bound} bound, "
+        f"{result.stats.pruned_simplification} simplification, "
+        f"{result.stats.base_case_matches} base-case matches"
+    )
     w("")
     w("original cost breakdown:")
     for row in cost_breakdown(program.node, cost_model):

@@ -26,7 +26,7 @@ Fault spec grammar (``$STENSO_FAULTS`` / ``--faults``)::
 
     spec  := rule (";" rule)*
     rule  := site ["[" scope "]"] ":" action ["=" value] ["@" n]
-    site  := solver | cache-read | worker | verify | journal
+    site  := solver | cache-read | worker | verify | journal | trace
     action:= raise | hang | corrupt | die
 
 ``scope`` restricts a rule to one kernel name (or cache section), ``value``
@@ -44,6 +44,11 @@ just before a kernel's outcome is appended: ``die`` there models a process
 killed mid-journal (the record is lost, every earlier record survives and the
 run is resumable), ``corrupt`` writes the record as a torn half-line the
 reader must tolerate.
+
+The ``trace`` site fires inside :mod:`repro.obs.trace` sinks and exports
+(``raise`` models an unwritable trace file, ``corrupt`` a torn trace write);
+tracing is strictly best-effort, so neither may ever fail the synthesis run
+— ``tests/test_obs.py`` proves it.
 """
 
 from __future__ import annotations
@@ -63,7 +68,7 @@ try:  # POSIX advisory locking; Windows falls back to lockless operation
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-_SITES = ("solver", "cache-read", "worker", "verify", "journal")
+_SITES = ("solver", "cache-read", "worker", "verify", "journal", "trace")
 
 
 class FaultInjected(RuntimeError):

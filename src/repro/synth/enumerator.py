@@ -118,26 +118,42 @@ class StubEnumerator:
 
     def enumerate(self) -> list[StubEntry]:
         """Run ``config.max_depth`` iterations; return all deduped stubs."""
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
         terminals = []
         for node in _terminals(self.program, self.config):
             entry = self._admit(node)
             if entry is not None:
                 terminals.append(entry)
         self._levels.append(terminals)
-        for _ in range(self.config.max_depth):
+        for depth in range(self.config.max_depth):
             if len(self._by_key) >= self.config.max_stubs:
                 break
+            level_span = (
+                tracer.begin("enum-level", "enum", level=depth + 1)
+                if tracer.enabled
+                else None
+            )
             new_level: list[StubEntry] = []
+            expired = False
             for i, candidate in enumerate(self._grow()):
                 if len(self._by_key) >= self.config.max_stubs:
                     break
                 # Graceful degradation: an expired budget stops enumeration
                 # with a partial (still sound) library rather than raising.
                 if self.budget is not None and i % 32 == 0 and self.budget.expired():
-                    return list(self._by_key.values())
+                    expired = True
+                    break
                 entry = self._admit(candidate)
                 if entry is not None:
                     new_level.append(entry)
+            if level_span is not None:
+                tracer.end(
+                    level_span, admitted=len(new_level), stubs=len(self._by_key)
+                )
+            if expired:
+                return list(self._by_key.values())
             if not new_level:
                 break
             self._levels.append(new_level)

@@ -7,6 +7,14 @@ symbolic algebra solver, keeping only sketches that *simplify* the spec
 (Section V-A) and whose accumulated cost stays below the best complete
 program found so far (Section V-B).  ``cost_min`` is shared across the whole
 search, mirroring the paper's pass-by-reference bound.
+
+Observability (:mod:`repro.obs`): every node expansion opens a ``dfs`` span
+on the active tracer, prunes emit instant events carrying their reason and
+the spec complexity, and :class:`SearchStats` populates a
+:class:`~repro.obs.metrics.MetricsRegistry` (prune-reason counters, DFS
+depth histogram, solver-latency histogram, cache counters) alongside its
+flat fields.  With the default :data:`~repro.obs.trace.NULL_TRACER` all
+instrumentation reduces to an attribute load and a branch per site.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import SynthesisTimeout
 from repro.cost.base import CostModel
+from repro.obs.metrics import DEPTH_BUCKETS, LATENCY_BUCKETS_S, MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.resilience import Budget
 from repro.ir.nodes import Node
 from repro.ir.types import TensorType
@@ -39,6 +49,11 @@ class SearchStats:
     instead.  The ``time_*`` fields are the stage-level profiler: wall-time
     spent building the stub library, solving sketches, matching base cases,
     and verifying the final candidate.
+
+    The flat fields are kept for existing consumers; the ``record_*``
+    helpers additionally populate ``metrics``, a
+    :class:`~repro.obs.metrics.MetricsRegistry` whose snapshot travels with
+    the kernel outcome into the run journal and ``ModuleResult.summary()``.
     """
 
     nodes_expanded: int = 0
@@ -52,6 +67,7 @@ class SearchStats:
     sketch_count: int = 0
     elapsed_seconds: float = 0.0
     timed_out: bool = False
+    max_depth_reached: int = 0
     # -- stage-level profiler -------------------------------------------------
     time_enumeration: float = 0.0
     time_solver: float = 0.0
@@ -61,21 +77,79 @@ class SearchStats:
     solver_cache_hits: int = 0
     cost_cache_hits: int = 0
     library_cache_hit: bool = False
+    # -- typed metrics registry ------------------------------------------------
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry, repr=False)
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        d = dict(self.__dict__)
+        d["metrics"] = self.metrics.snapshot()  # JSON-native, not the registry
+        return d
+
+    # -- recording helpers (flat fields + metrics registry in lockstep) --------
+
+    def record_expand(self, depth: int) -> None:
+        self.nodes_expanded += 1
+        if depth > self.max_depth_reached:
+            self.max_depth_reached = depth
+        self.metrics.counter("search.nodes_expanded").inc()
+        self.metrics.histogram("search.depth", DEPTH_BUCKETS).observe(depth)
+
+    def record_prune(self, reason: str) -> None:
+        if reason == "simplification":
+            self.pruned_simplification += 1
+        else:
+            self.pruned_bound += 1
+        self.metrics.counter(f"search.prune.{reason}").inc()
+
+    def record_memo_hit(self) -> None:
+        self.memo_hits += 1
+        self.metrics.counter("search.memo_hits").inc()
+
+    def record_base_match(self) -> None:
+        self.base_case_matches += 1
+        self.metrics.counter("search.base_case_matches").inc()
+
+    def record_solver_call(self, seconds: float, hit: bool) -> None:
+        self.solver_calls += 1
+        self.time_solver += seconds
+        self.metrics.counter("solver.calls").inc()
+        if hit:
+            self.solver_hits += 1
+            self.metrics.counter("solver.hits").inc()
+        self.metrics.histogram("solver.latency_s", LATENCY_BUCKETS_S).observe(seconds)
+
+    def record_solver_cache_hit(self) -> None:
+        self.solver_cache_hits += 1
+        self.metrics.counter("solver.cache_hits").inc()
+
+    def metrics_snapshot(self) -> dict:
+        """Registry snapshot with derived cache-hit-ratio gauges refreshed."""
+        solver_total = self.solver_calls + self.solver_cache_hits
+        if solver_total:
+            self.metrics.gauge("solver.cache_hit_ratio").set(
+                round(self.solver_cache_hits / solver_total, 6)
+            )
+        if self.nodes_expanded or self.memo_hits:
+            self.metrics.gauge("search.memo_hit_ratio").set(
+                round(self.memo_hits / (self.nodes_expanded + self.memo_hits), 6)
+            )
+        if self.cost_cache_hits:
+            self.metrics.counter("cost.cache_hits").value = self.cost_cache_hits
+        return self.metrics.snapshot()
 
     def profile_summary(self) -> str:
-        """One-line stage breakdown with cache counters."""
+        """One-line stage breakdown with every cache counter surfaced."""
         cached = (
             f", {self.solver_cache_hits} cached" if self.solver_cache_hits else ""
         )
         lib = " [lib cache]" if self.library_cache_hit else ""
+        memo = f", {self.memo_hits} memo" if self.memo_hits else ""
+        cost = f" | cost cache {self.cost_cache_hits} hits" if self.cost_cache_hits else ""
         return (
             f"enum {self.time_enumeration:.2f}s{lib} | "
             f"solver {self.time_solver:.2f}s ({self.solver_calls} calls{cached}) | "
-            f"match {self.time_base_match:.2f}s | "
-            f"verify {self.time_verification:.2f}s"
+            f"match {self.time_base_match:.2f}s ({self.base_case_matches} hits{memo}) | "
+            f"verify {self.time_verification:.2f}s{cost}"
         )
 
 
@@ -92,13 +166,15 @@ class SearchContext:
         fingerprint: str = "",
         budget: Budget | None = None,
         scope: str = "",
+        tracer=None,
     ) -> None:
         self.library = library
         self.cost_model = cost_model
         self.config = config
         self.cost_min = cost_min  # pass-by-reference bound of Algorithm 2
         self.scope = scope  # kernel name, used to scope injected faults
-        self.solver = SketchSolver(config, scope=scope)
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.solver = SketchSolver(config, scope=scope, tracer=self.tracer)
         self.cache = cache  # PersistentCache | None
         self.fingerprint = fingerprint
         self.stats = SearchStats(
@@ -134,17 +210,30 @@ class SearchContext:
             cache_key = solver_key(self.fingerprint, sketch, spec_key)
             hit = self.cache.solver_get(cache_key)
             if hit is not MISS:
-                self.stats.solver_cache_hits += 1
+                self.stats.record_solver_cache_hit()
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "solver-cache-hit", "solver", op=_sketch_op(sketch)
+                    )
                 return hit
         try:
             self.budget.charge_solver()
         except SynthesisTimeout:
             self.stats.timed_out = True
             raise
-        self.stats.solver_calls += 1
         start = time.monotonic()
         out = self.solver.solve_all(sketch, spec)
-        self.stats.time_solver += time.monotonic() - start
+        elapsed = time.monotonic() - start
+        self.stats.record_solver_call(elapsed, hit=out is not None)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "solve",
+                "solver",
+                start=start,
+                duration=elapsed,
+                op=_sketch_op(sketch),
+                outcome="hit" if out is not None else "miss",
+            )
         if self.cache is not None and cache_key is not None:
             self.cache.solver_put(cache_key, out)
         return out
@@ -186,6 +275,11 @@ class SearchContext:
             names = frozenset(i.name for i in sk.root.inputs() if not is_hole(i))
             self._sketch_inputs[sk.root] = names
         return names
+
+
+def _sketch_op(sketch: Sketch) -> str:
+    root = sketch.root
+    return getattr(root, "op", type(root).__name__)
 
 
 def _constant_spec_node(spec: SymTensor, ctx: SearchContext) -> Node | None:
@@ -246,19 +340,43 @@ def dfs(
     cost: float,
     ctx: SearchContext,
 ) -> tuple[Node | None, float]:
+    """Algorithm 2 with span tracing: one ``dfs`` span per node expansion."""
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        return _dfs(spec, score, level, cost, ctx)
+    span_id = tracer.begin(
+        "dfs", "search", depth=level, complexity=round(score, 4)
+    )
+    try:
+        result = _dfs(spec, score, level, cost, ctx)
+    except BaseException as exc:
+        tracer.end(span_id, outcome=type(exc).__name__)
+        raise
+    tracer.end(span_id, outcome="hit" if result[0] is not None else "miss")
+    return result
+
+
+def _dfs(
+    spec: SymTensor,
+    score: float,
+    level: int,
+    cost: float,
+    ctx: SearchContext,
+) -> tuple[Node | None, float]:
     """Algorithm 2: returns (best subtree, its cost) for ``spec``.
 
     ``cost`` is the accumulated cost of the partial program assembled on the
     path from the root (the prefix), used by the branch-and-bound check.
     """
+    tracer = ctx.tracer
     ctx.check_time()
-    ctx.stats.nodes_expanded += 1
+    ctx.stats.record_expand(level)
     key = canonical_key(spec)
 
     if ctx.config.memoize:
         hit = ctx.memo.get(key)
         if hit is not None:
-            ctx.stats.memo_hits += 1
+            ctx.stats.record_memo_hit()
             return hit
 
     # -- base case: constant specs are built directly --------------------------
@@ -272,15 +390,27 @@ def dfs(
     # -- base case: direct stub match (lines 2-8) ------------------------------
     match_start = time.monotonic()
     matched = _match_base_case(spec, key, ctx)
-    ctx.stats.time_base_match += time.monotonic() - match_start
+    match_elapsed = time.monotonic() - match_start
+    ctx.stats.time_base_match += match_elapsed
+    if tracer.enabled:
+        tracer.complete(
+            "match",
+            "search",
+            start=match_start,
+            duration=match_elapsed,
+            hit=matched is not None,
+            depth=level,
+        )
     if matched is not None:
-        ctx.stats.base_case_matches += 1
+        ctx.stats.record_base_match()
         result = (matched.node, ctx.library.stub_costs[matched.node])
         if ctx.config.memoize:
             ctx.memo[key] = result
         return result
 
     if level >= ctx.config.max_recursion_depth:
+        if tracer.enabled:
+            tracer.instant("prune", "search", reason="depth-limit", depth=level)
         return (None, _INF)
 
     # -- recursive case: decompose through sketches (lines 9-28) ----------------
@@ -297,20 +427,39 @@ def dfs(
             # Branch and bound (line 16): the pool is cost-sorted, so once one
             # sketch busts the bound every later one does too.
             if ctx.config.use_branch_and_bound and cost_total >= ctx.cost_min:
-                ctx.stats.pruned_bound += 1
+                ctx.stats.record_prune("bound")
+                if tracer.enabled:
+                    tracer.instant(
+                        "prune",
+                        "search",
+                        reason="bound",
+                        depth=level,
+                        cost=round(cost_total, 4),
+                        bound=round(ctx.cost_min, 4),
+                    )
                 break
             if cost_total >= cost + best_cost:
                 break  # cannot beat the best completion already found here
             hole_specs = ctx.solve_all(sk, spec, key)
             if hole_specs is None:
                 continue
-            ctx.stats.solver_hits += 1
             hole_scores = [
                 spec_complexity(h, ctx.config.complexity_mode) for h in hole_specs
             ]
             # PRUNE (line 12): the *average* hole complexity must strictly drop.
             if ctx.config.use_simplification and sum(hole_scores) / len(hole_scores) >= score:
-                ctx.stats.pruned_simplification += 1
+                ctx.stats.record_prune("simplification")
+                if tracer.enabled:
+                    tracer.instant(
+                        "prune",
+                        "search",
+                        reason="simplification",
+                        depth=level,
+                        complexity=round(score, 4),
+                        hole_complexity=round(
+                            sum(hole_scores) / len(hole_scores), 4
+                        ),
+                    )
                 continue
             # Lines 15-22: synthesize each hole, accumulating cost, with the
             # branch-and-bound check before every recursion.
@@ -319,7 +468,16 @@ def dfs(
             success = True
             for hole_spec, hole_score in zip(hole_specs, hole_scores):
                 if ctx.config.use_branch_and_bound and running >= ctx.cost_min:
-                    ctx.stats.pruned_bound += 1
+                    ctx.stats.record_prune("bound")
+                    if tracer.enabled:
+                        tracer.instant(
+                            "prune",
+                            "search",
+                            reason="bound",
+                            depth=level,
+                            cost=round(running, 4),
+                            bound=round(ctx.cost_min, 4),
+                        )
                     success = False
                     break
                 sub_program, sub_cost = dfs(hole_spec, hole_score, level + 1, running, ctx)

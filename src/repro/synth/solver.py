@@ -18,6 +18,7 @@ the hole, a generic fallback binds the hole to fresh unknowns and calls
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -25,6 +26,7 @@ import sympy as sp
 
 from repro.ir.nodes import Call, Input, Node
 from repro.ir.types import DType, TensorType
+from repro.obs.trace import NULL_TRACER
 from repro.resilience import inject
 from repro.symexec.canonical import canonical
 from repro.symexec.engine import symbolic_execute
@@ -618,11 +620,21 @@ class SketchSolver:
 
     ``scope`` names the kernel being synthesized; it keys the ``solver``
     fault-injection site so test plans can target one kernel of a batch.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`, defaulting to the no-op
+    tracer) records one span per inverter step and per generic-fallback
+    attempt when tracing is on.
     """
 
-    def __init__(self, config: SynthesisConfig | None = None, scope: str = "") -> None:
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        scope: str = "",
+        tracer=None,
+    ) -> None:
         self.config = config or SynthesisConfig()
         self.scope = scope
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._value_cache: dict[Node, SymTensor] = {}
 
     def _value(self, node: Node) -> SymTensor:
@@ -632,6 +644,22 @@ class SketchSolver:
             self._value_cache[node] = hit
         return hit
 
+    def _traced_generic_solve(
+        self, sketch: Sketch, spec: SymTensor
+    ) -> tuple[SymTensor, ...] | None:
+        if not self.tracer.enabled:
+            return _generic_solve(sketch, spec, self.config)
+        start = time.monotonic()
+        result = _generic_solve(sketch, spec, self.config)
+        self.tracer.complete(
+            "generic-solve", "solver",
+            start=start,
+            duration=time.monotonic() - start,
+            holes=sketch.num_holes,
+            outcome="hit" if result is not None else "miss",
+        )
+        return result
+
     def solve_all(self, sketch: Sketch, spec: SymTensor) -> tuple[SymTensor, ...] | None:
         """One hole specification per hole (Algorithm 2's SOLVE), or None."""
         inject("solver", key=self.scope, config=self.config)
@@ -640,7 +668,7 @@ class SketchSolver:
             return None if single is None else (single,)
         if not self.config.solver_generic_fallback:
             return None
-        result = _generic_solve(sketch, spec, self.config)
+        result = self._traced_generic_solve(sketch, spec)
         if result is not None and self.config.verify_decompositions:
             bindings = {h.name: s for h, s in zip(sketch.holes, result)}
             try:
@@ -657,23 +685,40 @@ class SketchSolver:
         """Hole specification making a single-hole sketch equal to ``spec``."""
         target = spec
         node: Node = sketch.root
+        tracer = self.tracer
         for step in sketch.hole_path:
             if not isinstance(node, Call):
                 return None
             inverter = _INVERTERS.get(node.op)
             if inverter is None:
                 if self.config.solver_generic_fallback:
-                    result = _generic_solve(sketch, spec, self.config)
+                    result = self._traced_generic_solve(sketch, spec)
                     return result[0] if result else None
                 return None
             siblings: list[SymTensor | None] = []
             for i, arg in enumerate(node.args):
                 siblings.append(None if i == step else self._value(arg))
             hole_like = node.args[step]
+            step_start = time.monotonic() if tracer.enabled else 0.0
             try:
                 result = inverter(node, step, siblings, target, hole_like.type)
             except Exception:
+                if tracer.enabled:
+                    tracer.complete(
+                        "invert", "solver",
+                        start=step_start,
+                        duration=time.monotonic() - step_start,
+                        op=node.op, outcome="error",
+                    )
                 return None
+            if tracer.enabled:
+                tracer.complete(
+                    "invert", "solver",
+                    start=step_start,
+                    duration=time.monotonic() - step_start,
+                    op=node.op,
+                    outcome="hit" if result is not None else "miss",
+                )
             if result is None:
                 return None
             target = result

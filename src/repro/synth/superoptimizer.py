@@ -30,6 +30,7 @@ from repro.ir.nodes import Call, Node
 from repro.ir.parser import Program, parse
 from repro.ir.printer import to_callable, to_source
 from repro.ir.types import TensorType, shrink_shape
+from repro.obs.trace import get_tracer
 from repro.resilience import Budget, inject
 from repro.symexec.canonical import canonical, equivalent
 from repro.symexec.engine import symbolic_execute
@@ -147,6 +148,7 @@ def superoptimize_program(
     fingerprint = synthesis_fingerprint(config, cost_model) if cache is not None else ""
     cost_model = with_caching(cost_model, cache, fingerprint)
     budget = budget if budget is not None else Budget.for_config(config)
+    tracer = get_tracer()
     start = time.monotonic()
 
     cost_min = cost_model.program_cost(program.node)  # line 2
@@ -156,18 +158,35 @@ def superoptimize_program(
         budget=budget,
     )
     enum_elapsed = time.monotonic() - start
+    if tracer.enabled:
+        tracer.complete(
+            "enumerate", "enum",
+            start=start, duration=enum_elapsed,
+            kernel=program.name,
+            stubs=library.stub_count, sketches=library.sketch_count,
+            cached=library.from_cache,
+        )
     score = spec_complexity(spec, config.complexity_mode)  # line 5
 
     ctx = SearchContext(
         library, cost_model, config, cost_min, cache=cache, fingerprint=fingerprint,
-        budget=budget, scope=program.name,
+        budget=budget, scope=program.name, tracer=tracer,
     )
     ctx.stats.time_enumeration = enum_elapsed
     ctx.stats.library_cache_hit = library.from_cache
+    search_span = (
+        tracer.begin("search", "search", kernel=program.name) if tracer.enabled else None
+    )
     try:
         result, result_cost = dfs(spec, score, 0, 0.0, ctx)  # line 6
     except SynthesisTimeout:
         result, result_cost = None, float("inf")
+    if search_span is not None:
+        tracer.end(
+            search_span,
+            nodes=ctx.stats.nodes_expanded,
+            timed_out=ctx.stats.timed_out,
+        )
     elapsed = time.monotonic() - start
     ctx.stats.elapsed_seconds = elapsed
 
@@ -183,7 +202,14 @@ def superoptimize_program(
             verified = verify_candidate(program, result, config, budget=budget)
         except VerificationError:
             verified = False  # candidate cannot even be evaluated: reject it
-        ctx.stats.time_verification += time.monotonic() - verify_start
+        verify_elapsed = time.monotonic() - verify_start
+        ctx.stats.time_verification += verify_elapsed
+        if tracer.enabled:
+            tracer.complete(
+                "verify", "verify",
+                start=verify_start, duration=verify_elapsed,
+                kernel=program.name, verified=verified,
+            )
         improved = verified
     if isinstance(cost_model, CachingCostModel):
         ctx.stats.cost_cache_hits = cost_model.hits
