@@ -1,0 +1,173 @@
+"""Cold-synthesis speed benchmark: legacy equivalence engine vs fast path.
+
+Runs the same kernel-module batch (shared with ``bench_parallel``) through
+the sequential :class:`ModuleOptimizer` twice — once with
+``use_fingerprints=False`` (the pre-fingerprint engine: every equivalence
+and dedup query pays ``cancel``/``expand``/``srepr``/``simplify``) and once
+with the value-fingerprint + hash-consed-canonical fast path — each cold, in
+a freshly *spawned* interpreter so neither run inherits SymPy's or the
+intern table's process-wide caches.
+
+Results land in ``BENCH_synthesis_speed.json``:
+
+* wall-clock seconds per mode and the speedup ratio;
+* ``outcomes_match`` — the two runs' ``ModuleResult.summary()`` strings are
+  compared *byte for byte* (the fast path is an execution strategy, not a
+  semantic change);
+* the fast run's per-tier counters (fingerprint rejects / hits / collisions,
+  intern hits, SymPy fallbacks, solver pre-screens) from the metrics rollup;
+* ``sympy_fallback_rate`` — fallbacks over all fingerprint-settled queries.
+  CI fails the run when the rate exceeds ``--max-fallback-rate``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_synthesis_speed.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import sys
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from bench_parallel import TIMEOUT_SECONDS, make_batch  # noqa: E402
+
+OUTPUT = _REPO / "BENCH_synthesis_speed.json"
+
+#: Four kernels, three distinct patterns — the CI smoke subset.
+SMOKE_KERNELS = ("exp_log_33", "matmul_33", "matmul_44", "inner_33")
+
+_TIER_COUNTERS = (
+    "equiv.residue_batteries",
+    "equiv.fingerprint_computed",
+    "equiv.fingerprint_weak",
+    "equiv.fingerprint_rejects",
+    "equiv.fingerprint_hits",
+    "equiv.fingerprint_collisions",
+    "equiv.intern_hits",
+    "equiv.intern_misses",
+    "equiv.sympy_fallbacks",
+    "equiv.solver_prescreened",
+)
+
+
+def _run_mode(use_fingerprints: bool, smoke: bool, queue) -> None:
+    """Child process: cold sequential batch run in one equivalence mode."""
+    from repro.pipeline import ModuleOptimizer
+    from repro.synth import SynthesisConfig
+
+    batch = make_batch()
+    if smoke:
+        batch = [k for k in batch if k.name in SMOKE_KERNELS]
+    config = SynthesisConfig(
+        timeout_seconds=TIMEOUT_SECONDS, use_fingerprints=use_fingerprints
+    )
+    start = time.monotonic()
+    result = ModuleOptimizer(config=config).optimize_module(batch)
+    seconds = time.monotonic() - start
+    counters = result.metrics_rollup().get("counters", {})
+    queue.put(
+        {
+            "seconds": seconds,
+            "summary": result.summary(),
+            "counters": {k: counters[k] for k in _TIER_COUNTERS if k in counters},
+        }
+    )
+
+
+def _in_fresh_process(*args) -> dict:
+    ctx = mp.get_context("spawn")
+    queue = ctx.SimpleQueue()
+    process = ctx.Process(target=_run_mode, args=(*args, queue))
+    process.start()
+    payload = queue.get()
+    process.join()
+    return payload
+
+
+def fallback_rate(counters: dict) -> float:
+    """SymPy fallbacks per fingerprint-settled equivalence query."""
+    settled = (
+        counters.get("equiv.fingerprint_rejects", 0)
+        + counters.get("equiv.fingerprint_hits", 0)
+        + counters.get("equiv.fingerprint_collisions", 0)
+    )
+    return counters.get("equiv.sympy_fallbacks", 0) / max(settled, 1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"run only the {len(SMOKE_KERNELS)}-kernel CI subset",
+    )
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    parser.add_argument(
+        "--max-fallback-rate", type=float, default=None, metavar="R",
+        help="exit nonzero when sympy_fallback_rate exceeds R (CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = [
+        k.name for k in make_batch() if not args.smoke or k.name in SMOKE_KERNELS
+    ]
+    report: dict = {
+        "cpu_count": os.cpu_count(),
+        "timeout_seconds": TIMEOUT_SECONDS,
+        "smoke": args.smoke,
+        "batch": kernels,
+    }
+
+    print(f"legacy engine (use_fingerprints=False, cold, {len(kernels)} kernels) ...", flush=True)
+    legacy = _in_fresh_process(False, args.smoke)
+    print(f"  {legacy['seconds']:.1f}s", flush=True)
+
+    print("fast path (use_fingerprints=True, cold) ...", flush=True)
+    fast = _in_fresh_process(True, args.smoke)
+    outcomes_match = fast["summary"] == legacy["summary"]
+    rate = fallback_rate(fast["counters"])
+    print(
+        f"  {fast['seconds']:.1f}s "
+        f"({legacy['seconds'] / fast['seconds']:.2f}x, match={outcomes_match}, "
+        f"fallback_rate={rate:.4f})",
+        flush=True,
+    )
+
+    report["legacy"] = {"seconds": round(legacy["seconds"], 2)}
+    report["fast"] = {
+        "seconds": round(fast["seconds"], 2),
+        "speedup_vs_legacy": round(legacy["seconds"] / fast["seconds"], 2),
+        "outcomes_match": outcomes_match,
+        "counters": fast["counters"],
+        "sympy_fallback_rate": round(rate, 6),
+    }
+    report["summary"] = fast["summary"]
+
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.output}")
+
+    if not outcomes_match:
+        print("FAIL: fast-path outcomes differ from the legacy engine", file=sys.stderr)
+        print(f"--- legacy ---\n{legacy['summary']}", file=sys.stderr)
+        print(f"--- fast ---\n{fast['summary']}", file=sys.stderr)
+        return 1
+    if args.max_fallback_rate is not None and rate > args.max_fallback_rate:
+        print(
+            f"FAIL: sympy_fallback_rate {rate:.4f} exceeds "
+            f"--max-fallback-rate {args.max_fallback_rate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

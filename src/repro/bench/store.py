@@ -70,6 +70,7 @@ class SynthesisStore:
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path else DEFAULT_STORE_PATH
         self._records: dict[str, SynthesisRecord] = dict(self._read_disk())
+        self._dirty = False
 
     def _read_disk(self) -> dict[str, SynthesisRecord]:
         records: dict[str, SynthesisRecord] = {}
@@ -91,6 +92,10 @@ class SynthesisStore:
         return records
 
     def save(self) -> None:
+        # All-hits runs (the common warm case) skip the lock and the
+        # re-serialization of every unchanged record entirely.
+        if not self._dirty:
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with FileLock(self.path.parent / f".{self.path.name}.lock"):
             merged = self._read_disk()
@@ -110,12 +115,14 @@ class SynthesisStore:
                 except OSError:
                     pass
                 raise
+        self._dirty = False
 
     def get(self, benchmark: str, cost_model: str, config: str = "default") -> SynthesisRecord | None:
         return self._records.get(f"{benchmark}|{cost_model}|{config}")
 
     def put(self, record: SynthesisRecord) -> None:
         self._records[record.key] = record
+        self._dirty = True
 
     def get_or_run(
         self,

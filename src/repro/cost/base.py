@@ -58,7 +58,8 @@ class DimMapper:
         return tuple(self.dim(d) for d in shape)
 
     def type(self, t: TensorType) -> TensorType:
-        return t.with_shape(self.shape(t.shape))
+        shape = self.shape(t.shape)
+        return t if shape == t.shape else t.with_shape(shape)
 
     def attrs(self, attrs: Mapping[str, Any]) -> dict[str, Any]:
         out = dict(attrs)
@@ -103,7 +104,15 @@ class CostModel(abc.ABC):
     def call_cost(self, node: Call) -> float:
         from repro.ir.nodes import Const
 
-        attrs = self.mapper.attrs(dict(node.attrs))
+        mapper = self.mapper
+        if mapper.is_identity:
+            attrs = dict(node.attrs)
+            arg_types = [a.type for a in node.args]
+            out_type = node.type
+        else:
+            attrs = mapper.attrs(dict(node.attrs))
+            arg_types = [mapper.type(a.type) for a in node.args]
+            out_type = mapper.type(node.type)
         # Scalar constant operands change real op cost (NumPy fast-paths
         # np.power(A, 2) but not np.power(A, 1.37)); expose them so measured
         # models can profile with the actual value.
@@ -114,17 +123,30 @@ class CostModel(abc.ABC):
         }
         if const_args:
             attrs["__const_args"] = tuple(sorted(const_args.items()))
-        return self.op_cost(
-            node.op,
-            [self.mapper.type(a.type) for a in node.args],
-            self.mapper.type(node.type),
-            attrs,
-        )
+        return self.op_cost(node.op, arg_types, out_type, attrs)
 
     def program_cost(self, node: Node) -> float:
-        """Total cost of a program tree (every op occurrence counted)."""
-        total = 0.0
-        for n in node.walk():
-            if isinstance(n, Call):
-                total += self.call_cost(n)
+        """Total cost of a program tree (every op occurrence counted).
+
+        Costs are a pure function of node structure, and candidate trees
+        share subtrees massively, so subtree totals are memoized per node
+        on the model instance: pricing a tree touches only subtrees never
+        seen before.
+        """
+        memo = getattr(self, "_subtree_memo", None)
+        if memo is None:
+            memo = {}
+            self._subtree_memo = memo
+        elif len(memo) > 1_000_000:
+            memo.clear()
+        return self._subtree_cost(node, memo)
+
+    def _subtree_cost(self, node: Node, memo: dict[Node, float]) -> float:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        total = self.call_cost(node) if isinstance(node, Call) else 0.0
+        for child in node.children():
+            total += self._subtree_cost(child, memo)
+        memo[node] = total
         return total

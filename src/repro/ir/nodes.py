@@ -38,7 +38,7 @@ def _normalize_attr(value: Any) -> AttrValue:
 class Node:
     """Base class of all IR nodes. Immutable, hashable, structurally equal."""
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_num_nodes")
 
     type: TensorType
 
@@ -53,7 +53,12 @@ class Node:
 
     @property
     def num_nodes(self) -> int:
-        return sum(1 for _ in self.walk())
+        try:
+            return self._num_nodes
+        except AttributeError:
+            n = 1 + sum(k.num_nodes for k in self.children())
+            self._num_nodes = n
+            return n
 
     @property
     def depth(self) -> int:
@@ -139,6 +144,31 @@ class Const(Node):
         return f"Const(array{self.value.shape})"
 
 
+#: Memoized type-inference results keyed by (op, arg types, attrs).  The
+#: enumerator constructs hundreds of thousands of Calls over a handful of
+#: distinct type signatures; inference (and its failures) repeat verbatim.
+#: Failures are stored as their message string and re-raised on hit.
+_TYPE_MEMO: dict[tuple, Any] = {}
+
+
+def _infer_type(op: str, args: tuple["Node", ...], attrs: tuple) -> TensorType:
+    from repro.errors import TypeInferenceError
+    from repro.ir.ops import get_op  # deferred: ops imports nodes
+
+    type_key = (op, tuple(a.type for a in args), attrs)
+    inferred = _TYPE_MEMO.get(type_key)
+    if inferred is None:
+        spec = get_op(op)
+        try:
+            inferred = spec.infer([a.type for a in args], dict(attrs))
+        except TypeInferenceError as exc:
+            inferred = str(exc)
+        _TYPE_MEMO[type_key] = inferred
+    if isinstance(inferred, str):
+        raise TypeInferenceError(inferred)
+    return inferred
+
+
 class Call(Node):
     """An operation applied to argument nodes.
 
@@ -150,14 +180,34 @@ class Call(Node):
     __slots__ = ("op", "args", "attrs", "type")
 
     def __init__(self, op: str, args: tuple[Node, ...] | list[Node], **attrs: Any) -> None:
-        from repro.ir.ops import get_op  # deferred: ops imports nodes
-
         self.op = op
         self.args = tuple(args)
         self.attrs = tuple(sorted((k, _normalize_attr(v)) for k, v in attrs.items() if v is not None))
-        spec = get_op(op)
-        self.type = spec.infer([a.type for a in self.args], dict(self.attrs))
+        self.type = _infer_type(op, self.args, self.attrs)
         self._hash = hash(("call", op, self.args, self.attrs))
+
+    @staticmethod
+    def with_args(template: "Call", args: tuple["Node", ...]) -> "Call":
+        """Rebuild ``template`` around new argument nodes.
+
+        Fast path for tree-rewriting utilities (substitution, sketch
+        derivation): the template's attrs are already normalized and sorted,
+        so the kwargs round-trip of ``__init__`` is skipped.
+        """
+        self = Call.__new__(Call)
+        self.op = template.op
+        self.args = args
+        self.attrs = template.attrs
+        # Hole replacement preserves argument types, and inference is a
+        # function of (op, arg types, attrs) — reuse the template's type.
+        for a, b in zip(args, template.args):
+            if a.type != b.type:
+                self.type = _infer_type(self.op, args, self.attrs)
+                break
+        else:
+            self.type = template.type
+        self._hash = hash(("call", self.op, args, self.attrs))
+        return self
 
     def attr(self, name: str, default: Any = None) -> Any:
         for key, value in self.attrs:
@@ -196,7 +246,7 @@ def substitute(node: Node, mapping: dict[Node, Node]) -> Node:
     if isinstance(node, Call):
         new_args = tuple(substitute(a, mapping) for a in node.args)
         if new_args != node.args:
-            rebuilt = Call(node.op, new_args, **dict(node.attrs))
+            rebuilt = Call.with_args(node, new_args)
             return mapping.get(rebuilt, rebuilt)
         return node
     return node

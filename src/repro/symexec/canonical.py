@@ -1,10 +1,15 @@
 """Canonicalization and equivalence of symbolic expressions.
 
-The synthesizer compares specifications by *canonical key*: a cheap, cached
-normal form (``cancel`` + ``expand`` + min/max normalization).  When keys
-differ, a slower ``simplify``-based fallback decides equivalence; the
-fallback is only invoked for candidates that already agree on free symbols
-and shape, which keeps the search fast.
+The synthesizer compares specifications through a three-tier fast path:
+
+1. **value fingerprints** (:mod:`repro.symexec.fingerprint`) — different
+   fingerprints prove inequivalence without any SymPy rewriting;
+2. **hash-consed canonical forms** (:mod:`repro.symexec.interning`) — the
+   cheap normal form (``cancel`` + ``expand`` + min/max normalization) and
+   its ``srepr`` are computed at most once per expression identity;
+3. a ``simplify``-based **SymPy fallback**, invoked only when fingerprints
+   collide but canonical forms differ — its invocation count is tracked as
+   the ``equiv.sympy_fallbacks`` metric (court of last resort).
 """
 
 from __future__ import annotations
@@ -13,6 +18,8 @@ from functools import lru_cache
 
 import sympy as sp
 
+from repro.symexec import fingerprint as _fp
+from repro.symexec.interning import TABLE as _INTERN
 from repro.symexec.symtensor import SymTensor
 
 
@@ -52,15 +59,19 @@ def _piecewise_to_minmax(expr: sp.Expr) -> sp.Expr:
 
 
 def _needs_cancel(expr: sp.Expr) -> bool:
-    """``cancel`` is expensive; only rational/radical expressions benefit.
+    """``cancel`` is expensive; only genuine quotients benefit.
 
-    Positive-integer powers expand fine without it, so only negative or
-    fractional exponents (division, roots) trigger cancellation.
+    Positive-integer powers expand fine without it.  Positive *fractional*
+    powers (radicals) don't need it either: ``cancel`` treats ``x**(1/2)``
+    as an opaque polynomial generator and hands back the same expression
+    ``expand`` alone produces — and SymPy already merges same-base radical
+    products at construction.  Only exponents that are (or could be)
+    negative — actual division — trigger cancellation.
     """
     try:
         for p in expr.atoms(sp.Pow):
             e = p.exp
-            if e.is_Integer and e.is_positive:
+            if e.is_Rational and e.is_positive:
                 continue
             return True
     except (AttributeError, TypeError):
@@ -68,9 +79,7 @@ def _needs_cancel(expr: sp.Expr) -> bool:
     return False
 
 
-@lru_cache(maxsize=200_000)
-def canonical(expr: sp.Expr) -> sp.Expr:
-    """Cheap cached normal form used for key-based matching."""
+def _canonical_impl(expr: sp.Expr) -> sp.Expr:
     out = expr
     if _needs_cancel(expr):
         try:
@@ -84,9 +93,17 @@ def canonical(expr: sp.Expr) -> sp.Expr:
     return _piecewise_to_minmax(out)
 
 
-@lru_cache(maxsize=200_000)
+def canonical(expr: sp.Expr) -> sp.Expr:
+    """Cheap interned normal form used for key-based matching."""
+    return _INTERN.canonical_of(expr, _canonical_impl)
+
+
 def _srepr(expr: sp.Expr) -> str:
-    return sp.srepr(expr)
+    return _INTERN.srepr_of(expr)
+
+
+#: Public alias: memoized ``sp.srepr`` shared with cache serialization.
+cached_srepr = _srepr
 
 
 def canonical_key(tensor: SymTensor) -> tuple:
@@ -96,6 +113,16 @@ def canonical_key(tensor: SymTensor) -> tuple:
         tensor.dtype,
         tuple(_srepr(canonical(e)) for e in tensor.entries()),
     )
+
+
+def canonical_entries(tensor: SymTensor) -> tuple:
+    """Interned canonical forms of every entry (no serialization).
+
+    Two tensors of equal shape/dtype are canonically identical iff these
+    tuples are equal — the same truth value as ``canonical_key`` equality,
+    without paying for ``srepr`` strings.
+    """
+    return tuple(canonical(e) for e in tensor.entries())
 
 
 @lru_cache(maxsize=100_000)
@@ -118,18 +145,41 @@ def _equivalent_exprs_slow(a: sp.Expr, b: sp.Expr) -> bool:
     return bool(diff == 0 or diff.is_zero)
 
 
+def _sympy_fallback(ca: sp.Expr, cb: sp.Expr) -> bool:
+    """Tier 3: exact ``simplify``-based equivalence, counted and traced."""
+    _fp.bump("sympy_fallbacks")
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.instant("sympy-fallback", "equiv")
+    return _equivalent_exprs_slow(ca, cb)
+
+
 def equivalent_exprs(a: sp.Expr, b: sp.Expr) -> bool:
     """Decide semantic equality of two expressions (sound, may be slow)."""
+    fa, fb = _fp.expr_fingerprint(a), _fp.expr_fingerprint(b)
+    if fa is not None and fb is not None and fa != fb:
+        _fp.bump("fingerprint_rejects")
+        return False
     ca, cb = canonical(a), canonical(b)
     if ca == cb:
         return True
     if ca.free_symbols != cb.free_symbols:
         return False
-    return _equivalent_exprs_slow(ca, cb)
+    if fa is not None and fb is not None:
+        # Equal fingerprints but distinct canonical forms: a true collision
+        # in the canonical partition — only here does SymPy get involved.
+        _fp.bump("fingerprint_collisions")
+    return _sympy_fallback(ca, cb)
 
 
 def equivalent(a: SymTensor, b: SymTensor) -> bool:
     """Decide elementwise semantic equality of two symbolic tensors."""
     if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    fa, fb = _fp.tensor_fingerprint(a), _fp.tensor_fingerprint(b)
+    if fa is not None and fb is not None and fa != fb:
+        _fp.bump("fingerprint_rejects")
         return False
     return all(equivalent_exprs(ea, eb) for ea, eb in zip(a.entries(), b.entries()))

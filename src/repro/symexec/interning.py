@@ -1,0 +1,76 @@
+"""Hash-consed canonical forms and memoized serialization.
+
+One process-wide :class:`InternTable` maps each structurally-distinct SymPy
+expression to (a) its canonical form and (b) its ``srepr`` serialization,
+each computed at most once per expression identity.  SymPy expressions hash
+and compare structurally, so the table unifies equal trees built at
+different times and places — the "hash-consing" tier of the equivalence
+fast path: ``canonical()``/``_srepr`` callers (enumeration, key-based
+matching, cache serialization) never recompute for a known expression.
+
+Unlike ``functools.lru_cache`` the table exposes hit/miss counters (sampled
+into the run's metrics rollup as ``equiv.intern_hits``) and a deterministic
+clear-on-full eviction policy whose capacity events are observable.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+
+class InternTable:
+    """Per-expression memo of canonical forms and serializations."""
+
+    __slots__ = ("_canonical", "_srepr", "hits", "misses", "max_size")
+
+    def __init__(self, max_size: int = 200_000) -> None:
+        self._canonical: dict = {}
+        self._srepr: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.max_size = max_size
+
+    def canonical_of(self, expr, compute):
+        """The interned canonical form of ``expr`` (``compute`` on miss)."""
+        hit = self._canonical.get(expr)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        out = compute(expr)
+        if len(self._canonical) >= self.max_size:
+            self._canonical.clear()
+        self._canonical[expr] = out
+        # Hash-consing: a canonical form is its own canonical form, so later
+        # lookups of the result object (or any equal tree) hit immediately.
+        self._canonical.setdefault(out, out)
+        return out
+
+    def srepr_of(self, expr) -> str:
+        """Memoized ``sp.srepr`` — also serves persistent-cache serialization."""
+        hit = self._srepr.get(expr)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        out = sp.srepr(expr)
+        if len(self._srepr) >= self.max_size:
+            self._srepr.clear()
+        self._srepr[expr] = out
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "canonical_size": len(self._canonical),
+            "srepr_size": len(self._srepr),
+        }
+
+    def clear(self) -> None:
+        self._canonical.clear()
+        self._srepr.clear()
+
+
+#: The process-wide table used by :mod:`repro.symexec.canonical`.
+TABLE = InternTable()

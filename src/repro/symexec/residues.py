@@ -1,0 +1,359 @@
+"""Vectorized residue batteries: value identity for whole tensors, no SymPy.
+
+:mod:`repro.symexec.fingerprint` prices one expression at a time through the
+SymPy tree.  For the enumerator that is still too slow: the dominant cost of
+a cold synthesis is *symbolically executing* every grammar candidate just to
+discover it duplicates an existing stub.  This module removes SymPy from that
+loop entirely.
+
+A tensor's **residue battery** is an ``int64`` ndarray of shape
+``(2, R_POINTS) + tensor.shape``: the value of every entry at the shared
+:func:`~repro.symexec.fingerprint._point` battery, reduced mod two primes
+just below ``2**25`` (:data:`Q1`, :data:`Q2`).  Two properties make it the
+enumerator's workhorse:
+
+* **Value-determined**: the battery is a function of the mathematical value
+  (same evaluator semantics as the mod-P fingerprint), so equality of
+  ``res.tobytes()`` is observational-equivalence up to Schwartz–Zippel
+  collisions across 8 independent tokens per entry (≈ ``2**-160`` for the
+  rational fragment — never observed, and dedup merges are semantically
+  correct even then).
+* **Compositional**: :func:`compose` computes the battery of ``op(args)``
+  directly from the argument batteries with a handful of vectorized numpy
+  operations — matching :mod:`repro.symexec.engine` op semantics exactly on
+  the rational fragment — so a grammar candidate is priced *without ever
+  building its symbolic tensor*.
+
+The primes sit below ``2**25`` so any product of two reduced residues stays
+under ``2**50`` and a contraction of up to ``2**12`` such products fits in a
+signed 64-bit accumulator; every stored battery is fully reduced.
+
+Anything the battery cannot represent faithfully returns ``None`` — an op
+outside the supported set, an irrational entry, a division whose denominator
+vanishes at a battery point — and the caller falls back to the exact
+symbolic path, so residues can never manufacture a wrong verdict on their
+own: like fingerprints, a *missing* battery only means "no fast opinion".
+
+One documented exactness edge: SymPy evaluates ``Float`` arithmetic with
+53-bit rounding while :func:`compose` is exact over Q.  Composition is
+therefore only offered for sub-values whose constants are integer-valued
+(where both agree until coefficients exceed ``2**53``); other constants keep
+their candidates on the symbolic path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.types import DType
+from repro.symexec import fingerprint as _fp
+from repro.symexec.fingerprint import _eval, _NonRational, _WeakPoint
+from repro.symexec.symtensor import SymTensor
+
+#: Points per prime: the first ``R_POINTS`` of the shared ``_point``
+#: battery.  Four points over two primes give eight independent tokens per
+#: entry — already far beyond any realistic collision budget, at half the
+#: evaluation cost of the full fingerprint battery.
+R_POINTS = 4
+
+#: The two battery primes: the largest primes below ``2**25``.
+Q1 = 33554393
+Q2 = 33554383
+
+_PRIMES = (Q1, Q2)
+_NP = len(_PRIMES)
+_QS = np.array(_PRIMES, dtype=np.int64)
+
+#: Safe contraction width: ``4096 * Q1 * Q2 < 2**63`` (int64 accumulator).
+_MAX_CONTRACTION = 1 << 12
+
+_UNSET = object()
+
+
+_QCOLS: dict[int, np.ndarray] = {}
+
+
+def _qcol(ndim: int) -> np.ndarray:
+    """The prime vector shaped to broadcast over a rank-``ndim`` battery."""
+    col = _QCOLS.get(ndim)
+    if col is None:
+        col = _QS.reshape((_NP,) + (1,) * (ndim - 1))
+        _QCOLS[ndim] = col
+    return col
+
+
+def _mod(a: np.ndarray) -> np.ndarray:
+    """Reduce ``a`` mod the prime column, in place (``a`` must be fresh)."""
+    a %= _qcol(a.ndim)
+    return a
+
+
+class _Unsupported(Exception):
+    """The battery cannot represent this op application faithfully."""
+
+
+# ---------------------------------------------------------------------------
+# Direct evaluation: battery of an existing symbolic tensor
+# ---------------------------------------------------------------------------
+
+
+def tensor_residues(tensor: SymTensor) -> np.ndarray | None:
+    """Residue battery of ``tensor``, or ``None`` if it has no faithful one.
+
+    Memoized on the tensor instance (tensors are immutable).  Non-``None``
+    exactly when every entry lies in the rational fragment and every
+    division is invertible mod both primes at all battery points — the same
+    evaluator (and the same failure modes) as the mod-P fingerprint, just
+    with smaller primes.
+    """
+    if not _fp.enabled():
+        return None
+    memo = tensor.__dict__.get("_residues", _UNSET)
+    if memo is not _UNSET:
+        return memo
+    out: np.ndarray | None = None
+    if tensor.dtype is DType.FLOAT:
+        arr = np.empty((_NP, R_POINTS) + tensor.shape, dtype=np.int64)
+        flat = arr.reshape(_NP, R_POINTS, -1)
+        memos = [[{} for _ in range(R_POINTS)] for _ in range(_NP)]
+        try:
+            for j, e in enumerate(tensor.entries()):
+                for k, q in enumerate(_PRIMES):
+                    row = memos[k]
+                    for i in range(R_POINTS):
+                        flat[k, i, j] = _eval(e, i, row[i], None, q)
+            out = arr
+            _fp.bump("residue_batteries")
+        except (_NonRational, _WeakPoint, AttributeError, TypeError):
+            out = None
+    object.__setattr__(tensor, "_residues", out)
+    return out
+
+
+def residue_key(shape: tuple, dtype: DType, res: np.ndarray) -> tuple:
+    """Hashable identity of a battery: ``(shape, dtype, reduced bytes)``."""
+    return (shape, dtype, res.tobytes())
+
+
+# ---------------------------------------------------------------------------
+# Compositional evaluation, mirroring repro.symexec.engine op semantics
+# ---------------------------------------------------------------------------
+
+
+def _bcast(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Numpy trailing-dim broadcasting over the entry dims (prefix fixed)."""
+    ra, rb = a.ndim - 2, b.ndim - 2
+    if ra < rb:
+        a = a.reshape(a.shape[:2] + (1,) * (rb - ra) + a.shape[2:])
+    elif rb < ra:
+        b = b.reshape(b.shape[:2] + (1,) * (ra - rb) + b.shape[2:])
+    return a, b
+
+
+def _inv_battery(b: np.ndarray) -> np.ndarray:
+    """Vectorized modular inverse per prime slab (square-and-multiply).
+
+    Callers must already have checked ``b.all()``: a zero residue has no
+    inverse and makes the whole battery unrepresentable.
+    """
+    out = np.ones_like(b)
+    base = b.copy()
+    for k, q in enumerate(_PRIMES):
+        acc, sq = out[k], base[k]
+        e = q - 2
+        while e:
+            if e & 1:
+                acc *= sq
+                acc %= q
+            e >>= 1
+            if e:
+                sq *= sq
+                sq %= q
+    return out
+
+
+def _c_add(args, attrs):
+    a, b = _bcast(args[0], args[1])
+    return _mod(a + b)
+
+
+def _c_subtract(args, attrs):
+    a, b = _bcast(args[0], args[1])
+    return _mod(a - b)
+
+
+def _c_multiply(args, attrs):
+    a, b = _bcast(args[0], args[1])
+    return _mod(a * b)
+
+
+def _c_divide(args, attrs):
+    a, b = _bcast(args[0], args[1])
+    if not b.all():
+        # A vanishing denominator residue: the symbolic entry is either
+        # genuinely undefined or merely weak at this point — both are for
+        # the exact path to decide.
+        raise _Unsupported
+    return _mod(a * _inv_battery(b))
+
+
+def _c_negative(args, attrs):
+    return _mod(-args[0])
+
+
+def _c_dot(args, attrs):
+    a, b = args
+    ra, rb = a.ndim - 2, b.ndim - 2
+    if ra == 0 or rb == 0:
+        # engine._dot multiplies elementwise when either side is scalar.
+        return _c_multiply(args, attrs)
+    if ra > 2 or rb > 2:
+        raise _Unsupported  # np.dot's stacked-axes semantics: not mirrored
+    x = a if ra == 2 else a.reshape(a.shape[:2] + (1,) + a.shape[2:])
+    y = b if rb == 2 else b.reshape(b.shape[:2] + b.shape[2:] + (1,))
+    if x.shape[-1] != y.shape[-2] or x.shape[-1] > _MAX_CONTRACTION:
+        raise _Unsupported
+    out = np.matmul(x, y)
+    if rb == 1:
+        out = out[..., 0]
+    if ra == 1:
+        out = out[..., 0, :] if rb == 2 else out[..., 0]
+    return _mod(out)
+
+
+def _c_tensordot(args, attrs):
+    if attrs.get("axes", 2) != 0:
+        raise _Unsupported
+    a, b = args
+    sa, sb = a.shape[2:], b.shape[2:]
+    x = a.reshape(a.shape[:2] + sa + (1,) * len(sb))
+    y = b.reshape(b.shape[:2] + (1,) * len(sa) + sb)
+    return _mod(x * y)
+
+
+def _c_transpose(args, attrs):
+    a = args[0]
+    r = a.ndim - 2
+    axes = attrs.get("axes")
+    if axes is None:
+        perm = (0, 1) + tuple(2 + r - 1 - i for i in range(r))
+    else:
+        perm = (0, 1) + tuple(2 + (ax % r) for ax in axes)
+    return np.ascontiguousarray(np.transpose(a, perm))
+
+
+def _c_sum(args, attrs):
+    a = args[0]
+    r = a.ndim - 2
+    axis = attrs.get("axis")
+    if axis is None:
+        reduce_over = tuple(range(2, a.ndim))
+    else:
+        reduce_over = (2 + (axis % r),)
+    n = 1
+    for d in reduce_over:
+        n *= a.shape[d]
+    if n > _MAX_CONTRACTION:
+        raise _Unsupported
+    return _mod(a.sum(axis=reduce_over))
+
+
+def _c_power(args, attrs, arg_nodes):
+    """``power`` composes only for a literal scalar integer exponent.
+
+    The exponent must be the *actual* integer, not its residue: ``x**e`` is
+    not a function of ``e mod q`` (Fermat), so only a ``Const`` node whose
+    true value is visible qualifies — the same integer-valued gate as
+    residue registration.  Negative exponents invert the base battery, so a
+    vanishing base residue falls back (engine: ``zoo`` → rejected).
+    """
+    from repro.ir.nodes import Const  # deferred: nodes imports ir.types only
+
+    if arg_nodes is None:
+        raise _Unsupported
+    exp_node = arg_nodes[1]
+    if not isinstance(exp_node, Const) or not exp_node.is_scalar:
+        raise _Unsupported
+    v = exp_node.scalar()
+    if not (np.isfinite(v) and v == int(v) and abs(v) < 1 << 20):
+        raise _Unsupported
+    c = int(v)
+    base = args[0]
+    if c < 0:
+        if not base.all():
+            raise _Unsupported
+        base = _inv_battery(base)
+        c = -c
+    out = np.ones_like(base)
+    sq = base.copy()
+    for k, q in enumerate(_PRIMES):
+        acc, s, e = out[k], sq[k], c
+        while e:
+            if e & 1:
+                acc *= s
+                acc %= q
+            e >>= 1
+            if e:
+                s *= s
+                s %= q
+    return out
+
+
+def _c_full(args, attrs):
+    shape = tuple(attrs["shape"])
+    a = args[0]
+    return np.ascontiguousarray(
+        np.broadcast_to(a.reshape(a.shape + (1,) * len(shape)), a.shape + shape)
+    )
+
+
+_COMPOSE = {
+    "add": _c_add,
+    "subtract": _c_subtract,
+    "multiply": _c_multiply,
+    "divide": _c_divide,
+    "negative": _c_negative,
+    "dot": _c_dot,
+    "tensordot": _c_tensordot,
+    "transpose": _c_transpose,
+    "sum": _c_sum,
+    "full": _c_full,
+}
+
+
+def compose(
+    op: str, attrs: dict, args: list[np.ndarray], arg_nodes=None
+) -> np.ndarray | None:
+    """Battery of ``op(*args)`` from argument batteries, or ``None``.
+
+    ``None`` (op not mirrored, zero denominator, oversized contraction)
+    means the caller must build the symbolic tensor and take the exact
+    path — exactly the set of candidates whose *own* ``tensor_residues``
+    could disagree with composition, so the two entry points always agree
+    whenever both are defined.
+
+    ``arg_nodes`` optionally passes the argument IR nodes alongside their
+    batteries; ops whose result is not a function of residues alone
+    (``power``: the literal exponent matters) require it.
+    """
+    if op == "power":
+        try:
+            out = _c_power(args, attrs, arg_nodes)
+        except _Unsupported:
+            return None
+        _fp.bump("residue_batteries")
+        return out
+    fn = _COMPOSE.get(op)
+    if fn is None:
+        return None
+    try:
+        out = fn(args, attrs)
+    except _Unsupported:
+        return None
+    _fp.bump("residue_batteries")
+    return out
+
+
+def supported_op(op: str) -> bool:
+    """Whether ``op`` has a compositional battery rule."""
+    return op == "power" or op in _COMPOSE

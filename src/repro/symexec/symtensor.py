@@ -49,6 +49,10 @@ def symbol_origin(symbol: sp.Symbol) -> tuple[str, tuple[int, ...]] | None:
     return _SYMBOL_ORIGIN.get(symbol)
 
 
+#: Memoized constant tensors: (shape, dtype str, bytes, DType) -> SymTensor.
+_FROM_VALUE_MEMO: dict[tuple, "SymTensor"] = {}
+
+
 @dataclass(frozen=True)
 class SymTensor:
     """An immutable symbolic tensor: expression array plus element dtype."""
@@ -77,6 +81,17 @@ class SymTensor:
     @staticmethod
     def from_value(value, dtype: DType = DType.FLOAT) -> "SymTensor":
         arr = np.asarray(value)
+        # Constant tensors repeat across candidates and kernels, and
+        # ``nsimplify`` is expensive; memoize by exact array content.
+        # SymTensor is frozen so sharing one instance is safe.
+        try:
+            memo_key = (arr.shape, arr.dtype.str, arr.tobytes(), dtype)
+        except Exception:
+            memo_key = None
+        if memo_key is not None:
+            cached = _FROM_VALUE_MEMO.get(memo_key)
+            if cached is not None:
+                return cached
         data = np.empty(arr.shape, dtype=object)
         flat = data.reshape(-1) if arr.shape else None
         if arr.shape:
@@ -88,7 +103,10 @@ class SymTensor:
                 sp.S(bool(item)) if dtype is DType.BOOL else sp.nsimplify(float(item), rational=True),
                 dtype=object,
             )
-        return SymTensor(data, dtype)
+        out = SymTensor(data, dtype)
+        if memo_key is not None:
+            _FROM_VALUE_MEMO[memo_key] = out
+        return out
 
     # -- basic views ----------------------------------------------------------
 
@@ -151,6 +169,16 @@ class SymTensor:
             for s in self.input_symbols()
             if (origin := symbol_origin(s)) is not None
         }
+
+    def fingerprint(self) -> "tuple | None":
+        """Value fingerprint (memoized): see :mod:`repro.symexec.fingerprint`.
+
+        Different non-None fingerprints prove two tensors inequivalent;
+        ``None`` (weak) means the exact equivalence path must decide.
+        """
+        from repro.symexec.fingerprint import tensor_fingerprint
+
+        return tensor_fingerprint(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SymTensor(shape={self.shape}, dtype={self.dtype.value}, data={self.data!r})"

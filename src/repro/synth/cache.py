@@ -77,7 +77,15 @@ def default_cache_dir() -> Path:
 
 #: Config fields that cannot change synthesis *outcomes*, only resource use
 #: (or, for ``fault_plan``, deliberately break runs for testing).
-_NON_SEMANTIC_FIELDS = ("timeout_seconds", "max_solver_calls", "fault_plan")
+#: ``use_fingerprints`` qualifies: the fingerprint fast path only skips
+#: equivalence work whose outcome it already decides, so warm entries are
+#: interchangeable between modes.
+_NON_SEMANTIC_FIELDS = (
+    "timeout_seconds",
+    "max_solver_calls",
+    "fault_plan",
+    "use_fingerprints",
+)
 
 
 def cost_model_fingerprint(cost_model: "CostModel") -> str:
@@ -151,12 +159,12 @@ def cost_key(fingerprint: str, node: "Node") -> str:
 
 
 def dump_tensor(tensor: "SymTensor") -> dict:
-    import sympy as sp
+    from repro.symexec.canonical import cached_srepr
 
     return {
         "shape": list(tensor.shape),
         "dtype": tensor.dtype.value,
-        "entries": [sp.srepr(e) for e in tensor.entries()],
+        "entries": [cached_srepr(e) for e in tensor.entries()],
     }
 
 

@@ -25,7 +25,6 @@ Growth policy
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -36,7 +35,9 @@ from repro.errors import TypeInferenceError
 from repro.ir.nodes import Call, Const, Input, Node
 from repro.ir.parser import Program
 from repro.ir.types import DType
-from repro.symexec.canonical import canonical_key
+from repro.symexec import fingerprint as _fp
+from repro.symexec import residues as _res
+from repro.symexec.canonical import canonical, canonical_key
 from repro.symexec.engine import symbolic_execute
 from repro.symexec.symtensor import SymTensor
 from repro.synth.config import SynthesisConfig
@@ -45,13 +46,73 @@ from repro.synth.config import SynthesisConfig
 _BOOLEAN_TRIGGERS = {"less", "where", "max", "min", "maximum", "minimum", "triu", "tril"}
 
 
-@dataclass(frozen=True)
 class StubEntry:
-    """A deduplicated stub: IR tree, its symbolic tensor, canonical key."""
+    """A deduplicated stub: IR tree, symbolic tensor, and its identities.
 
-    node: Node
-    tensor: SymTensor
-    key: tuple
+    ``res`` is the residue battery (value identity over small primes; see
+    :mod:`repro.symexec.residues`) and ``fp`` the mod-P value fingerprint —
+    either may be None for stubs the respective engine cannot tokenize, and
+    both are in legacy no-fingerprint mode.  On the fast path the symbolic
+    tensor itself is **lazy**: residue-admitted stubs are priced without ever
+    running ``symbolic_execute``, and the tensor is materialized only if a
+    slow-path consumer (canonical key, full equivalence) actually asks.
+    """
+
+    __slots__ = ("node", "fp", "res", "_tensor", "_exec_cache", "_key", "_canon")
+
+    def __init__(
+        self,
+        node: Node,
+        tensor: SymTensor | None = None,
+        key: tuple | None = None,
+        fp: tuple | None = None,
+        res=None,
+        exec_cache: dict | None = None,
+    ) -> None:
+        self.node = node
+        self._tensor = tensor
+        self.fp = fp
+        self.res = res
+        self._key = key
+        self._canon: tuple | None = None
+        self._exec_cache = exec_cache
+
+    @property
+    def tensor(self) -> SymTensor:
+        t = self._tensor
+        if t is None:
+            t = symbolic_execute(self.node, cache=self._exec_cache)
+            self._tensor = t
+        return t
+
+    @property
+    def key(self) -> tuple:
+        if self._key is None:
+            self._key = canonical_key(self.tensor)
+        return self._key
+
+    @property
+    def cached_key(self) -> tuple | None:
+        """The canonical key if already computed, without forcing it."""
+        return self._key
+
+    def canon_entries(self) -> tuple:
+        """Interned canonical forms of the tensor's entries (lazy)."""
+        if self._canon is None:
+            self._canon = tuple(canonical(e) for e in self.tensor.entries())
+        return self._canon
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StubEntry({self.node!r})"
+
+
+class _StubClass:
+    """Mutable holder of one behavioral class's current champion entry."""
+
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: StubEntry) -> None:
+        self.entry = entry
 
 
 def program_constants(program: Program) -> list[Const]:
@@ -96,7 +157,22 @@ class StubEnumerator:
         self.config = config
         self.cost_model = cost_model
         self.budget = budget  # repro.resilience.Budget | None
-        self._by_key: dict[tuple, StubEntry] = {}
+        #: Admission-ordered behavioral classes (the deduped library).
+        self._classes: list[_StubClass] = []
+        #: Canonical-key index: every class in legacy mode, weak ones otherwise.
+        self._by_key: dict[tuple, _StubClass] = {}
+        #: Raw-structure tier (fast mode): exact entry tuples already seen.
+        #: SymPy auto-orders Add/Mul args, so most behavioral duplicates
+        #: (commutations, re-derivations) collapse here with zero algebra.
+        self._by_raw: dict[tuple, _StubClass] = {}
+        #: Value tier (fast mode): residue-battery bytes -> class.  Most
+        #: candidates are settled here without symbolic execution at all.
+        self._by_val: dict[tuple, _StubClass] = {}
+        #: Batteries of admitted champions, keyed by IR node, for the
+        #: compositional evaluator (only *residue-safe* nodes: see
+        #: :meth:`_register_res`).
+        self._res_by_node: dict[Node, "object"] = {}
+        self._use_fp = config.use_fingerprints
         self._seen_nodes: set[Node] = set()
         self._symexec_cache: dict[Node, SymTensor] = {}
         self._cost_memo: dict[Node, float] = {}
@@ -128,7 +204,7 @@ class StubEnumerator:
                 terminals.append(entry)
         self._levels.append(terminals)
         for depth in range(self.config.max_depth):
-            if len(self._by_key) >= self.config.max_stubs:
+            if self.stub_count >= self.config.max_stubs:
                 break
             level_span = (
                 tracer.begin("enum-level", "enum", level=depth + 1)
@@ -138,7 +214,7 @@ class StubEnumerator:
             new_level: list[StubEntry] = []
             expired = False
             for i, candidate in enumerate(self._grow()):
-                if len(self._by_key) >= self.config.max_stubs:
+                if self.stub_count >= self.config.max_stubs:
                     break
                 # Graceful degradation: an expired budget stops enumeration
                 # with a partial (still sound) library rather than raising.
@@ -150,18 +226,18 @@ class StubEnumerator:
                     new_level.append(entry)
             if level_span is not None:
                 tracer.end(
-                    level_span, admitted=len(new_level), stubs=len(self._by_key)
+                    level_span, admitted=len(new_level), stubs=self.stub_count
                 )
             if expired:
-                return list(self._by_key.values())
+                return [c.entry for c in self._classes]
             if not new_level:
                 break
             self._levels.append(new_level)
-        return list(self._by_key.values())
+        return [c.entry for c in self._classes]
 
     @property
     def stub_count(self) -> int:
-        return len(self._by_key)
+        return len(self._classes)
 
     # -- internals -------------------------------------------------------------
 
@@ -195,7 +271,15 @@ class StubEnumerator:
         )
 
     def _admit(self, node: Node) -> StubEntry | None:
-        """Type-check, constant-fold, symbolically execute, and dedupe."""
+        """Type-check, constant-fold, evaluate, and dedupe.
+
+        Fast-path candidates whose arguments all have residue batteries are
+        settled **numerically**: :func:`repro.symexec.residues.compose`
+        prices the candidate with a few vectorized numpy ops and the value
+        tier decides duplicate-vs-new by dict lookup — no symbolic execution,
+        no SymPy.  Everything else (unsupported ops, irrational values,
+        vanishing denominators, legacy mode) takes the symbolic route.
+        """
         if node in self._seen_nodes:
             return None
         self._seen_nodes.add(node)
@@ -209,27 +293,217 @@ class StubEnumerator:
             if node in self._seen_nodes:
                 return None
             self._seen_nodes.add(node)
+        fast = self._use_fp and _fp.enabled()
+        if fast and isinstance(node, Call):
+            res = self._compose_residues(node)
+            if res is not None:
+                return self._admit_value(node, res, None)
+            if node.op == "divide" and self._divides_by_zero(node):
+                # Every entry of x / 0 executes to zoo (or nan for 0/0), so
+                # the undefined-entry check would reject it — skip symexec.
+                return None
         try:
             tensor = symbolic_execute(node, cache=self._symexec_cache)
         except Exception:
             return None  # e.g. division by a constant zero
         if any(_has_undefined(e) for e in tensor.entries()):
             return None
+        if fast:
+            return self._admit_fast(node, tensor)
+        return self._admit_legacy(node, tensor)
+
+    _EMPTY_ATTRS: dict = {}
+
+    def _compose_residues(self, node: Call):
+        """Battery of ``node`` from its arguments' batteries (None = no-go)."""
+        args = []
+        for a in node.args:
+            r = self._res_by_node.get(a)
+            if r is None:
+                return None
+            args.append(r)
+        # Compose rules only read attrs; share one empty dict for the common
+        # attr-less candidate instead of allocating per candidate.
+        attrs = dict(node.attrs) if node.attrs else self._EMPTY_ATTRS
+        res = _res.compose(node.op, attrs, args, arg_nodes=node.args)
+        if res is not None and res.shape[2:] != node.type.shape:
+            return None  # defensive: semantics drift falls back to symexec
+        return res
+
+    def _divides_by_zero(self, node: Call) -> bool:
+        """True when the denominator stub is the identically-zero tensor.
+
+        An all-zero residue battery flags the candidate; the class champion's
+        symbolic tensor (computed once, shared) confirms it is literally zero
+        rather than merely vanishing at the battery points.
+        """
+        den = node.args[1]
+        r = self._res_by_node.get(den)
+        if r is None or r.any():
+            return False
+        cls = self._by_val.get(_res.residue_key(den.type.shape, den.type.dtype, r))
+        if cls is None:
+            return False
+        try:
+            return all(e == 0 for e in cls.entry.tensor.entries())
+        except Exception:
+            return False
+
+    def _admit_legacy(self, node: Node, tensor: SymTensor) -> StubEntry | None:
+        """Pre-fingerprint dedup: one canonical key per candidate."""
         try:
             key = canonical_key(tensor)
         except Exception:
             return None
         self.sketch_sources.append(node)
-        existing = self._by_key.get(key)
-        if existing is not None:
-            if self._prefer(node, existing.node):
-                # Same behaviour, better implementation: replace in place so
-                # base-case MATCH always returns the best equivalent stub.
-                self._by_key[key] = StubEntry(node, tensor, key)
+        cls = self._by_key.get(key)
+        if cls is not None:
+            self._battle(cls, node, tensor)
             return None
-        entry = StubEntry(node, tensor, key)
-        self._by_key[key] = entry
+        entry = StubEntry(node, tensor, key=key)
+        cls = _StubClass(entry)
+        self._by_key[key] = cls
+        self._classes.append(cls)
         return entry
+
+    def _admit_value(
+        self, node: Node, res, tensor: SymTensor | None, raw: tuple | None = None
+    ) -> StubEntry | None:
+        """Value-tier dedup: residue-battery bytes settle the candidate.
+
+        Reached compositionally (``tensor is None``: zero SymPy spent) or
+        from a symbolically executed tensor whose own battery is defined —
+        :func:`~repro.symexec.residues.compose` and
+        :func:`~repro.symexec.residues.tensor_residues` agree whenever both
+        are defined, so the two entrances index one consistent partition.
+        """
+        val_key = _res.residue_key(node.type.shape, node.type.dtype, res)
+        self.sketch_sources.append(node)
+        cls = self._by_val.get(val_key)
+        if cls is not None:
+            _fp.bump("fingerprint_hits")
+            self._battle(cls, node, tensor)
+            if raw is not None:
+                self._by_raw[raw] = cls
+            return None
+        # An unseen battery proves the behavior distinct from every admitted
+        # stub (same Schwartz–Zippel argument as a fingerprint reject).
+        _fp.bump("fingerprint_rejects")
+        entry = StubEntry(
+            node, tensor, res=res, exec_cache=self._symexec_cache
+        )
+        cls = _StubClass(entry)
+        self._by_val[val_key] = cls
+        if raw is not None:
+            self._by_raw[raw] = cls
+        self._classes.append(cls)
+        if tensor is None:
+            # Composed battery: every argument is registered by construction
+            # (compose read their batteries), so the node is residue-safe.
+            self._res_by_node[node] = res
+        else:
+            self._register_res(node, res)
+        return entry
+
+    def _register_res(self, node: Node, res) -> None:
+        """Expose ``node``'s battery to the compositional evaluator.
+
+        Only *residue-safe* nodes join: inputs, integer-valued constants
+        (where SymPy's 53-bit Float arithmetic and exact mod-q arithmetic
+        agree), and calls whose arguments are all themselves registered.
+        Candidates over other constants keep taking the symbolic route, so
+        composed batteries always match what ``tensor_residues`` of the
+        executed tensor would produce.
+        """
+        if isinstance(node, Const):
+            v = node.value
+            try:
+                ok = bool(
+                    np.all(np.isfinite(v))
+                    and np.all(v == np.round(v))
+                    and np.all(np.abs(v) < 1 << 20)
+                )
+            except TypeError:
+                ok = False
+        elif isinstance(node, Call):
+            ok = all(a in self._res_by_node for a in node.args)
+        else:
+            ok = True  # Input
+        if ok:
+            self._res_by_node[node] = res
+
+    def _admit_fast(self, node: Node, tensor: SymTensor) -> StubEntry | None:
+        """Three-tier dedup: raw structure, residue battery, canonical key.
+
+        Tier 0 (raw): SymPy's auto-ordering makes most behavioral duplicates
+        *structurally* identical — a dict lookup on the entry tuple settles
+        them.  Tier 1 (residues): rational-valued tensors join the same
+        value partition the compositional path uses.  Tier 2 (canonical):
+        everything the battery cannot tokenize (irrational values, booleans,
+        vanishing denominators) dedupes by exact canonical key — precisely
+        the legacy partition for precisely the candidates where the cheap
+        tiers have no opinion.
+        """
+        raw = (tensor.shape, tensor.dtype, tuple(tensor.entries()))
+        cls = self._by_raw.get(raw)
+        if cls is None:
+            res = _res.tensor_residues(tensor)
+            if res is not None:
+                return self._admit_value(node, res, tensor, raw)
+            return self._admit_weak(node, tensor, raw)
+        self.sketch_sources.append(node)
+        self._battle(cls, node, tensor)
+        self._by_raw[raw] = cls
+        return None
+
+    def _admit_weak(self, node: Node, tensor: SymTensor, raw: tuple) -> StubEntry | None:
+        """Battery-weak candidates dedupe exactly, among themselves."""
+        _fp.bump("fingerprint_weak")
+        try:
+            key = canonical_key(tensor)
+        except Exception:
+            return None
+        self.sketch_sources.append(node)
+        cls = self._by_key.get(key)
+        if cls is not None:
+            self._battle(cls, node, tensor)
+            self._by_raw[raw] = cls
+            return None
+        entry = StubEntry(node, tensor, key=key)
+        cls = _StubClass(entry)
+        self._by_key[key] = cls
+        self._by_raw[raw] = cls
+        self._classes.append(cls)
+        return entry
+
+    def _battle(
+        self,
+        cls: _StubClass,
+        node: Node,
+        tensor: SymTensor | None,
+        canon: tuple | None = None,
+    ) -> None:
+        """Cost battle against the class champion, replacing it if beaten.
+
+        The class identities (battery, fingerprint, canonical key, canonical
+        entries) transfer to the replacement: class membership *means* those
+        agree.  ``tensor`` may be None (residue-composed challenger): the
+        replacement entry stays lazy.
+        """
+        old = cls.entry
+        if self._prefer(node, old.node):
+            # Same behaviour, better implementation: replace in place so
+            # base-case MATCH always returns the best equivalent stub.
+            entry = StubEntry(
+                node,
+                tensor,
+                key=old.cached_key,
+                fp=old.fp,
+                res=old.res,
+                exec_cache=self._symexec_cache,
+            )
+            entry._canon = canon if canon is not None else old._canon
+            cls.entry = entry
 
     def _grow(self) -> Iterator[Node]:
         terminals = [e.node for e in self._levels[0]]

@@ -16,8 +16,10 @@ from repro.ir.nodes import Call, Input, Node
 from repro.ir.parser import Program, parse_expression
 from repro.ir.printer import to_expression
 from repro.ir.types import DType, TensorType
+from repro.symexec import fingerprint as _fp
 from repro.symexec.canonical import canonical_key
 from repro.symexec.engine import symbolic_execute
+from repro.symexec.residues import residue_key, tensor_residues
 from repro.symexec.symtensor import SymTensor
 from repro.synth.config import SynthesisConfig
 from repro.synth.enumerator import StubEntry, StubEnumerator
@@ -35,10 +37,41 @@ class Library:
     sketches: list[Sketch]
     sketches_by_type: dict[TensorType, list[Sketch]]
     from_cache: bool = False
+    #: Fingerprint buckets: fp -> stubs sharing it (fast equivalence path).
+    stubs_by_fp: dict[tuple, list[StubEntry]] = field(default_factory=dict)
+    #: Residue-battery index: residue_key -> stub (the value fast path).
+    stubs_by_val: dict[tuple, StubEntry] = field(default_factory=dict)
+    #: Exact-key index of weak-fingerprint stubs (their only fast lookup).
+    weak_by_key: dict[tuple, StubEntry] = field(default_factory=dict)
+    #: False while some stubs have no canonical key yet (fingerprint mode).
+    key_index_complete: bool = True
 
     def match_stub(self, key: tuple) -> StubEntry | None:
-        """Base-case MATCH: exact canonical-key lookup."""
+        """Base-case MATCH: exact canonical-key lookup.
+
+        On the fingerprint fast path most stubs never compute a canonical
+        key; the first exact-key query (a weak-fingerprint spec) completes
+        the index lazily, once.
+        """
+        if not self.key_index_complete:
+            for entry in self.stubs:
+                if entry.cached_key is None:
+                    try:
+                        self.stub_by_key.setdefault(entry.key, entry)
+                    except Exception:
+                        continue
+                else:
+                    self.stub_by_key.setdefault(entry.cached_key, entry)
+            self.key_index_complete = True
         return self.stub_by_key.get(key)
+
+    def match_fingerprint(self, fp: tuple) -> list[StubEntry]:
+        """Stubs whose value fingerprint equals ``fp`` (candidate matches)."""
+        return self.stubs_by_fp.get(fp, [])
+
+    def match_value(self, val_key: tuple) -> StubEntry | None:
+        """Base-case MATCH, value tier: residue-battery identity lookup."""
+        return self.stubs_by_val.get(val_key)
 
     def stubs_with_signature(self, shape: tuple[int, ...], dtype: DType) -> list[StubEntry]:
         """Stubs sharing shape/dtype — candidates for slow-path matching."""
@@ -109,11 +142,20 @@ def _library_from_payload(
     try:
         types = program.input_types
         shared: dict[Node, SymTensor] = {}
+        fast = config.use_fingerprints and _fp.enabled()
         stubs: list[StubEntry] = []
         for expr in payload["stubs"]:
             node = parse_expression(expr, types).node
             tensor = symbolic_execute(node, cache=shared)
-            stubs.append(StubEntry(node, tensor, canonical_key(tensor)))
+            if fast:
+                # Warm restore rides the fast path too: residue batteries
+                # instead of canonicalizing every stub; battery-weak ones
+                # fall back to keys, mirroring the cold enumerator exactly.
+                res = tensor_residues(tensor)
+                if res is not None:
+                    stubs.append(StubEntry(node, tensor, res=res))
+                    continue
+            stubs.append(StubEntry(node, tensor, key=canonical_key(tensor)))
         sources = [parse_expression(expr, types).node for expr in payload["sources"]]
     except Exception:
         return None
@@ -131,10 +173,28 @@ def _assemble_library(
     stub_by_key: dict[tuple, StubEntry] = {}
     stub_costs: dict[Node, float] = {}
     stubs_by_sig: dict[tuple, list[StubEntry]] = {}
+    stubs_by_fp: dict[tuple, list[StubEntry]] = {}
+    stubs_by_val: dict[tuple, StubEntry] = {}
+    weak_by_key: dict[tuple, StubEntry] = {}
+    key_index_complete = True
     for entry in stubs:
-        stub_by_key[entry.key] = entry
+        sig = (entry.node.type.shape, entry.node.type.dtype)
+        if entry.res is not None:
+            stubs_by_val[residue_key(sig[0], sig[1], entry.res)] = entry
+        if entry.fp is not None:
+            stubs_by_fp.setdefault(entry.fp, []).append(entry)
+        if entry.cached_key is not None:
+            stub_by_key[entry.cached_key] = entry
+            if entry.fp is None and entry.res is None:
+                weak_by_key[entry.cached_key] = entry
+        else:
+            # Battery/fingerprint-admitted stub: its canonical key is computed
+            # only if an exact-key query ever needs it (see Library.match_stub).
+            key_index_complete = False
         stub_costs[entry.node] = cost_model.program_cost(entry.node)
-        stubs_by_sig.setdefault((entry.tensor.shape, entry.tensor.dtype), []).append(entry)
+        # Signature from the IR type, not the tensor: residue-admitted stubs
+        # keep their symbolic tensors lazy through assembly.
+        stubs_by_sig.setdefault(sig, []).append(entry)
 
     sketches: list[Sketch] = []
     seen_roots: set[Node] = set()
@@ -159,6 +219,10 @@ def _assemble_library(
         stubs_by_sig=stubs_by_sig,
         sketches=sketches,
         sketches_by_type=sketches_by_type,
+        stubs_by_fp=stubs_by_fp,
+        stubs_by_val=stubs_by_val,
+        weak_by_key=weak_by_key,
+        key_index_complete=key_index_complete,
     )
 
 

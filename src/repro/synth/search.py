@@ -29,7 +29,9 @@ from repro.obs.trace import get_tracer
 from repro.resilience import Budget
 from repro.ir.nodes import Node
 from repro.ir.types import TensorType
+from repro.symexec import fingerprint as _fp
 from repro.symexec.canonical import canonical_key, equivalent
+from repro.symexec.residues import residue_key, tensor_residues
 from repro.symexec.symtensor import SymTensor
 from repro.synth.complexity import spec_complexity
 from repro.synth.config import SynthesisConfig
@@ -77,6 +79,13 @@ class SearchStats:
     solver_cache_hits: int = 0
     cost_cache_hits: int = 0
     library_cache_hit: bool = False
+    # -- equivalence fast-path counters (see repro.symexec.fingerprint) --------
+    fingerprint_rejects: int = 0
+    fingerprint_hits: int = 0
+    fingerprint_collisions: int = 0
+    sympy_fallbacks: int = 0
+    intern_hits: int = 0
+    solver_prescreened: int = 0
     # -- typed metrics registry ------------------------------------------------
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry, repr=False)
 
@@ -118,9 +127,27 @@ class SearchStats:
             self.metrics.counter("solver.hits").inc()
         self.metrics.histogram("solver.latency_s", LATENCY_BUCKETS_S).observe(seconds)
 
-    def record_solver_cache_hit(self) -> None:
+    def record_solver_cache_hit(self, solved: bool = False) -> None:
         self.solver_cache_hits += 1
         self.metrics.counter("solver.cache_hits").inc()
+        if solved:
+            # A cached *successful* solve is still a hit: keeping the credit
+            # makes ``solver_hits`` invariant under cache state, so warm and
+            # cold runs of the same batch report identical counters.
+            self.solver_hits += 1
+            self.metrics.counter("solver.hits").inc()
+
+    def record_equiv_counters(self, delta: dict) -> None:
+        """Fold one kernel's fingerprint-engine counter delta into the stats."""
+        self.fingerprint_rejects += delta.get("fingerprint_rejects", 0)
+        self.fingerprint_hits += delta.get("fingerprint_hits", 0)
+        self.fingerprint_collisions += delta.get("fingerprint_collisions", 0)
+        self.sympy_fallbacks += delta.get("sympy_fallbacks", 0)
+        self.intern_hits += delta.get("intern_hits", 0)
+        self.solver_prescreened += delta.get("solver_prescreened", 0)
+        for name, value in sorted(delta.items()):
+            if value:
+                self.metrics.counter(f"equiv.{name}").inc(int(value))
 
     def metrics_snapshot(self) -> dict:
         """Registry snapshot with derived cache-hit-ratio gauges refreshed."""
@@ -210,7 +237,7 @@ class SearchContext:
             cache_key = solver_key(self.fingerprint, sketch, spec_key)
             hit = self.cache.solver_get(cache_key)
             if hit is not MISS:
-                self.stats.record_solver_cache_hit()
+                self.stats.record_solver_cache_hit(solved=hit is not None)
                 if self.tracer.enabled:
                     self.tracer.instant(
                         "solver-cache-hit", "solver", op=_sketch_op(sketch)
@@ -313,10 +340,40 @@ def _constant_spec_node(spec: SymTensor, ctx: SearchContext) -> Node | None:
 
 
 def _match_base_case(spec: SymTensor, key: tuple, ctx: SearchContext):
-    """MATCH of Algorithm 2: cheapest stub equivalent to the spec."""
-    entry = ctx.library.match_stub(key)
-    if entry is not None:
-        return entry
+    """MATCH of Algorithm 2: cheapest stub equivalent to the spec.
+
+    On the fast path the exact tier is a residue-battery lookup (rational
+    specs: one dict probe against the enumerator's value partition), then a
+    fingerprint-bucket lookup confirmed on interned canonical entries; the
+    slow scan then only pays ``equivalent`` for stubs neither the battery
+    nor the fingerprint refutes.  Match results are identical to the legacy
+    flow — both tiers only skip work whose outcome they already decide.
+    """
+    res = None
+    if ctx.config.use_fingerprints and _fp.enabled():
+        res = tensor_residues(spec)
+        if res is not None:
+            entry = ctx.library.match_value(
+                residue_key(spec.shape, spec.dtype, res)
+            )
+            if entry is not None:
+                _fp.bump("fingerprint_hits")
+                if ctx.tracer.enabled:
+                    ctx.tracer.instant("fingerprint-hit", "equiv")
+                return entry
+        # Exact tier: battery-weak stubs dedupe (and index) by canonical
+        # key; a keyed probe is sound for any spec — key equality is
+        # equivalence — and it is their only fast lookup.
+        entry = ctx.library.weak_by_key.get(key)
+        if entry is not None:
+            _fp.bump("fingerprint_hits")
+            if ctx.tracer.enabled:
+                ctx.tracer.instant("fingerprint-hit", "equiv")
+            return entry
+    else:
+        entry = ctx.library.match_stub(key)
+        if entry is not None:
+            return entry
     # Slow path: canonical keys can differ for semantically equal tensors
     # (e.g. exp/log combinations); try full equivalence against stubs that
     # agree on signature and referenced inputs.
@@ -328,6 +385,13 @@ def _match_base_case(spec: SymTensor, key: tuple, ctx: SearchContext):
     ]
     candidates.sort(key=lambda e: ctx.library.stub_costs[e.node])
     for e in candidates[:24]:
+        if res is not None and e.res is not None:
+            if e.res.shape != res.shape or not (e.res == res).all():
+                # Different batteries: definitely inequivalent — skip the
+                # simplify-based check.  (Equal batteries cannot reach here:
+                # the value tier would already have matched.)
+                _fp.bump("fingerprint_rejects")
+                continue
         if equivalent(e.tensor, spec):
             return e
     return None

@@ -39,6 +39,11 @@ class Hole(Input):
         return f"??{self.name.removeprefix(HOLE_PREFIX)}:{self.type}"
 
 
+#: Shared ``Hole(0, type)`` instances: all holes of index 0 and equal type
+#: are structurally identical, and sketch derivation creates one per site.
+_HOLE_CACHE: dict[TensorType, Hole] = {}
+
+
 def is_hole(node: Node) -> bool:
     return isinstance(node, Input) and node.name.startswith(HOLE_PREFIX)
 
@@ -69,7 +74,7 @@ def replace_at(node: Node, path: Path, replacement: Node) -> Node:
     i, rest = path[0], path[1:]
     new_args = list(node.args)
     new_args[i] = replace_at(new_args[i], rest, replacement)
-    return Call(node.op, tuple(new_args), **dict(node.attrs))
+    return Call.with_args(node, tuple(new_args))
 
 
 @dataclass(frozen=True)
@@ -151,6 +156,7 @@ def sketches_from_stub(
     out: list[Sketch] = []
     seen: set[Node] = set()
     replaceable_sites: list[tuple[Path, Node]] = []
+    hole_cache = _HOLE_CACHE
     for path, node in iter_paths(stub):
         if not path:
             continue
@@ -160,7 +166,10 @@ def sketches_from_stub(
         if not replaceable:
             continue
         replaceable_sites.append((path, node))
-        hole = Hole(0, node.type)
+        hole = hole_cache.get(node.type)
+        if hole is None:
+            hole = Hole(0, node.type)
+            hole_cache[node.type] = hole
         root = replace_at(stub, path, hole)
         if root in seen:
             continue  # distinct paths can rebuild identical roots

@@ -28,7 +28,8 @@ from repro.ir.nodes import Call, Input, Node
 from repro.ir.types import DType, TensorType
 from repro.obs.trace import NULL_TRACER
 from repro.resilience import inject
-from repro.symexec.canonical import canonical
+from repro.symexec import fingerprint as _fp
+from repro.symexec.canonical import canonical, canonical_entries, equivalent
 from repro.symexec.engine import symbolic_execute
 from repro.symexec.symtensor import SymTensor, input_symbols_of, symbol_origin
 from repro.synth.config import SynthesisConfig
@@ -580,6 +581,11 @@ def _generic_solve(
     eqs = []
     for got, want in zip(result.entries(), spec.entries()):
         eqs.append(sp.expand(got - want))
+    # Fingerprint pre-screen: if the linear system has no solution modulo p
+    # at every sampled point, no symbolic solution exists — skip sp.solve.
+    if _fp.enabled() and _fp.linear_system_infeasible(eqs, flat_syms):
+        _fp.bump("solver_prescreened")
+        return None
     try:
         solutions = sp.solve(eqs, flat_syms, dict=True)
     except Exception:
@@ -608,6 +614,25 @@ def _generic_solve(
             out = np.array(chunk[0], dtype=object)
         out_specs.append(_canonical_tensor(out))
     return tuple(out_specs)
+
+
+def _verified_equal(got: SymTensor, spec: SymTensor) -> bool:
+    """Decomposition verification compare, riding the equivalence fast path.
+
+    Fingerprints refute most bad decompositions without canonicalizing;
+    interned canonical entries confirm the common good case; ``equivalent``
+    (with its own SymPy fallback) settles the rest.
+    """
+    if got.shape != spec.shape or got.dtype != spec.dtype:
+        return False
+    if _fp.enabled():
+        fg, fs = _fp.tensor_fingerprint(got), _fp.tensor_fingerprint(spec)
+        if fg is not None and fs is not None and fg != fs:
+            _fp.bump("fingerprint_rejects")
+            return False
+    if canonical_entries(got) == canonical_entries(spec):
+        return True
+    return equivalent(got, spec)
 
 
 # ---------------------------------------------------------------------------
@@ -675,9 +700,7 @@ class SketchSolver:
                 got = symbolic_execute(sketch.root, bindings=bindings)
             except Exception:
                 return None
-            from repro.symexec.canonical import canonical_key, equivalent
-
-            if canonical_key(got) != canonical_key(spec) and not equivalent(got, spec):
+            if not _verified_equal(got, spec):
                 return None
         return result
 
@@ -742,8 +765,4 @@ class SketchSolver:
             result = symbolic_execute(sketch.root, bindings={sketch.hole.name: hole_spec})
         except Exception:
             return False
-        from repro.symexec.canonical import canonical_key, equivalent
-
-        if canonical_key(result) == canonical_key(spec):
-            return True
-        return equivalent(result, spec)
+        return _verified_equal(result, spec)

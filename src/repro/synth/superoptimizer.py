@@ -32,6 +32,7 @@ from repro.ir.printer import to_callable, to_source
 from repro.ir.types import TensorType, shrink_shape
 from repro.obs.trace import get_tracer
 from repro.resilience import Budget, inject
+from repro.symexec import fingerprint as _fp
 from repro.symexec.canonical import canonical, equivalent
 from repro.symexec.engine import symbolic_execute
 from repro.synth.cache import PersistentCache, as_cache, synthesis_fingerprint
@@ -148,6 +149,8 @@ def superoptimize_program(
     fingerprint = synthesis_fingerprint(config, cost_model) if cache is not None else ""
     cost_model = with_caching(cost_model, cache, fingerprint)
     budget = budget if budget is not None else Budget.for_config(config)
+    _fp.set_enabled(config.use_fingerprints)
+    equiv_base = _fp.counters_snapshot()
     tracer = get_tracer()
     start = time.monotonic()
 
@@ -213,6 +216,7 @@ def superoptimize_program(
         improved = verified
     if isinstance(cost_model, CachingCostModel):
         ctx.stats.cost_cache_hits = cost_model.hits
+    ctx.stats.record_equiv_counters(_fp.counters_delta(equiv_base))
     if not improved:
         result, result_cost = program.node, cost_min  # line 10
 

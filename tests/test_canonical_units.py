@@ -49,8 +49,15 @@ class TestNeedsCancel:
     def test_division_triggers(self):
         assert _needs_cancel(a / b)
 
-    def test_sqrt_triggers(self):
-        assert _needs_cancel(sp.sqrt(a))
+    def test_sqrt_skips(self):
+        # Positive radicals are opaque generators to `cancel`: it returns
+        # exactly what `expand` alone produces, so they skip the expense.
+        assert not _needs_cancel(sp.sqrt(a))
+        assert not _needs_cancel(sp.sqrt(a**2 + 2 * a + 1) * b)
+
+    def test_negative_radical_triggers(self):
+        assert _needs_cancel(a ** sp.Rational(-1, 2))
+        assert _needs_cancel(sp.sqrt(a) / b)
 
     def test_plain_symbol_skips(self):
         assert not _needs_cancel(a)

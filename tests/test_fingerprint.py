@@ -1,0 +1,244 @@
+"""Property and unit tests for the value-fingerprint equivalence fast path.
+
+The load-bearing guarantee: **fingerprints never produce a false
+"inequivalent" verdict** — if two expressions are semantically equal, their
+fingerprints are equal or at least one is weak (``None``).  Hypothesis
+drives this with random expressions pushed through semantics-preserving
+SymPy transforms.  The rest covers collision fallback, cross-process
+determinism, mod-prime arithmetic (division, negative exponents), weak
+fingerprints, and the generic-solve linear pre-screen.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import sympy as sp
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir.types import DType
+from repro.symexec import (
+    equivalent,
+    equivalent_exprs,
+    expr_fingerprint,
+    linear_system_infeasible,
+    symbolic_execute,
+    tensor_fingerprint,
+)
+from repro.symexec.fingerprint import N_POINTS, P, _point
+from repro.symexec.symtensor import SymTensor, element_symbol
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Input-style symbols (positive, as symbolic execution creates them).
+_X = element_symbol("X", (0, 0))
+_Y = element_symbol("Y", (0, 0))
+_Z = element_symbol("Z", (0, 0))
+
+
+def _exprs() -> st.SearchStrategy[sp.Expr]:
+    leaves = st.sampled_from(
+        [_X, _Y, _Z, sp.Integer(2), sp.Integer(3), sp.Rational(1, 2)]
+    )
+
+    def combine(children):
+        pair = st.tuples(children, children)
+        return st.one_of(
+            pair.map(lambda ab: ab[0] + ab[1]),
+            pair.map(lambda ab: ab[0] * ab[1]),
+            pair.map(lambda ab: ab[0] - ab[1]),
+            children.map(lambda a: a**2),
+            children.map(lambda a: sp.sqrt(a)),
+        )
+
+    return st.recursive(leaves, combine, max_leaves=8)
+
+
+# ---------------------------------------------------------------------------
+# No false "inequivalent" verdicts
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(_exprs())
+def test_fingerprint_invariant_under_rewrites(expr):
+    """Semantics-preserving transforms never change a non-weak fingerprint."""
+    fp = expr_fingerprint(expr)
+    for transform in (sp.expand, sp.factor, sp.simplify, sp.cancel):
+        try:
+            other = transform(expr)
+        except (sp.PolynomialError, NotImplementedError):
+            continue
+        fp_other = expr_fingerprint(other)
+        if fp is not None and fp_other is not None:
+            assert fp == fp_other, (
+                f"{expr} vs {transform.__name__}: {other} — equal semantics, "
+                "different fingerprints (unsound rejection)"
+            )
+
+
+@_SETTINGS
+@given(_exprs(), _exprs())
+def test_fingerprint_agrees_with_sympy_equivalence(a, b):
+    """fp(a) != fp(b) (both non-weak) must imply SymPy finds a != b."""
+    fa, fb = expr_fingerprint(a), expr_fingerprint(b)
+    if fa is None or fb is None or fa == fb:
+        return
+    assert sp.simplify(a - b) != 0
+
+
+def test_fingerprint_rational_values_share_tokens():
+    # Same value, wildly different trees: sqrt collapse, exp/log, log ratio.
+    pairs = [
+        (sp.sqrt(_Y**2 + 2 * _Y + 1), _Y + 1),
+        (sp.exp(2 * sp.log(_X)), _X**2),
+        (sp.log(sp.Integer(17) ** 5) / sp.log(sp.Integer(17)), sp.Integer(5)),
+        (_X / _Y * _Y, _X),
+        ((_X**2 - 4) / (_X - 2), _X + 2),
+    ]
+    for a, b in pairs:
+        fa, fb = expr_fingerprint(a), expr_fingerprint(b)
+        assert fb is not None
+        if fa is not None:
+            assert fa == fb, f"{a} vs {b}"
+
+
+# ---------------------------------------------------------------------------
+# Collision fallback correctness
+# ---------------------------------------------------------------------------
+
+
+def test_equal_fingerprints_still_confirmed_exactly():
+    # Equal fingerprints route through canonical/simplify, which must accept
+    # true equivalences whose canonical forms differ.
+    a, b = sp.sqrt(_Y**2 + 2 * _Y + 1), _Y + 1
+    assert equivalent_exprs(a, b)
+    # ... and reject non-equivalences regardless of any collision.
+    assert not equivalent_exprs(_X + _Y, _X * _Y)
+
+
+def test_tensor_fingerprint_and_equivalent():
+    t1 = SymTensor(np.array([[_X + _Y, _X * 2], [_Y, _X]], dtype=object), DType.FLOAT)
+    t2 = SymTensor(np.array([[_Y + _X, 2 * _X], [_Y, _X]], dtype=object), DType.FLOAT)
+    t3 = SymTensor(np.array([[_X + _Y, _X * 2], [_Y, _Y]], dtype=object), DType.FLOAT)
+    assert tensor_fingerprint(t1) == tensor_fingerprint(t2)
+    assert tensor_fingerprint(t1) != tensor_fingerprint(t3)
+    assert equivalent(t1, t2)
+    assert not equivalent(t1, t3)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def test_points_are_deterministic_across_processes():
+    code = (
+        "import sys; sys.path.insert(0, %r); "
+        "from repro.symexec.fingerprint import _point, expr_fingerprint; "
+        "from repro.symexec.symtensor import element_symbol; "
+        "x = element_symbol('X', (0, 0)); "
+        "print(_point('A[0,0]', 0), _point('m?', 3), expr_fingerprint(x**2 + 3))"
+    ) % str(Path(__file__).resolve().parents[1] / "src")
+    out1 = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    ).stdout
+    out2 = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    ).stdout
+    assert out1 == out2
+    # ... and match this process too.
+    expected = f"{_point('A[0,0]', 0)} {_point('m?', 3)} {expr_fingerprint(_X**2 + 3)}\n"
+    assert out1 == expected
+
+
+def test_boolean_carrier_points_straddle_zero():
+    values = [_point(f"m{i}?", j) for i in range(8) for j in range(N_POINTS)]
+    assert any(v > 0 for v in values) and any(v < 0 for v in values)
+
+
+# ---------------------------------------------------------------------------
+# Mod-prime arithmetic: division, negative exponents, weak points
+# ---------------------------------------------------------------------------
+
+
+def test_division_and_negative_exponents_mod_p():
+    assert expr_fingerprint(_X / _Y * _Y) == expr_fingerprint(_X)
+    assert expr_fingerprint(_X**-2 * _X**3) == expr_fingerprint(_X)
+    fp = expr_fingerprint(sp.Rational(3, 7))
+    assert fp is not None
+    assert all(tok == 3 * pow(7, P - 2, P) % P for tok in fp)
+
+
+def test_undefined_values_are_weak_not_wrong():
+    assert expr_fingerprint(sp.zoo) is None
+    assert expr_fingerprint(sp.Integer(1) / (_X - _X)) is None
+    # Weak entry poisons the whole tensor fingerprint (sound: no verdict).
+    t = SymTensor(np.array([_X, sp.zoo * _Y], dtype=object), DType.FLOAT)
+    assert tensor_fingerprint(t) is None
+    # A denominator that vanishes at sample points but not identically must
+    # not produce a false inequivalence: (x^2 - y)·z/(x^2 - y) vs z.
+    e = (_X**2 - _Y) * _Z / (_X**2 - _Y)
+    fe = expr_fingerprint(e)
+    assert fe is None or fe == expr_fingerprint(_Z)
+
+
+def test_fingerprint_through_symbolic_execution():
+    from repro.ir import float_tensor, parse
+
+    types = {"A": float_tensor(2, 2), "B": float_tensor(2, 2)}
+    a = parse("def k(A, B):\n    return (A + B) * (A - B)\n", types)
+    b = parse("def k(A, B):\n    return A * A - B * B\n", types)
+    c = parse("def k(A, B):\n    return A * A + B * B\n", types)
+    ta, tb, tc = (symbolic_execute(p.node) for p in (a, b, c))
+    assert tensor_fingerprint(ta) == tensor_fingerprint(tb)
+    assert tensor_fingerprint(ta) != tensor_fingerprint(tc)
+
+
+# ---------------------------------------------------------------------------
+# Generic-solve linear pre-screen
+# ---------------------------------------------------------------------------
+
+
+def test_linear_screen_rejects_infeasible_system():
+    u = [sp.Symbol("_u0", real=True)]
+    # A scalar hole cannot equal two different entries at once: u = x and
+    # u = y is inconsistent at every sample point (x != y there).
+    eqs = [sp.expand(u[0] - _X), sp.expand(u[0] - _Y)]
+    assert linear_system_infeasible(eqs, u)
+    # Note u*x = x + 1 IS solvable (u = 1 + 1/x: hole specs are symbolic),
+    # and the pointwise screen agrees.
+    assert not linear_system_infeasible([sp.expand(u[0] * _X - _X - 1)], u)
+
+
+def test_linear_screen_keeps_feasible_and_nonlinear_systems():
+    u = [sp.Symbol("_u0", real=True), sp.Symbol("_u1", real=True)]
+    # Solvable: u0 = 2, u1 = -1.
+    eqs = [
+        sp.expand(u[0] * _X + u[1] * _Y - 2 * _X + _Y),
+        sp.expand(u[0] - 2),
+    ]
+    assert not linear_system_infeasible(eqs, u)
+    # Nonlinear in the unknowns: screening must decline, never reject.
+    assert not linear_system_infeasible([sp.expand(u[0] ** 2 * _X - _X)], [u[0]])
+    # Solution undefined at some points only (u = 1/x is fine on battery
+    # points since x != 0 there, but be conservative anyway): feasible.
+    assert not linear_system_infeasible([sp.expand(u[0] * _X - 1)], [u[0]])
+
+
+def test_linear_screen_ignores_unknown_free_equations():
+    # sp.solve(eqs, unknowns) silently drops equations that contain none of
+    # the unknowns, even unsatisfiable ones (residual sketch rows outside the
+    # hole — e.g. stack([h, x]) against stack([2x, 2x]) yields a spurious
+    # -x row).  The screen must match that, or it rejects systems the
+    # generic solver solves.
+    u = [sp.Symbol("_u0", real=True)]
+    eqs = [sp.expand(u[0] - 2 * _X), -_X, -_Y]
+    assert not linear_system_infeasible(eqs, u)
+    # All equations unknown-free: nothing to screen.
+    assert not linear_system_infeasible([-_X], u)
