@@ -1,0 +1,26 @@
+"""``python -m repro.cli`` — dispatch to the CLI entry points.
+
+``python -m repro.cli serve ...`` runs the synthesis daemon; everything else
+is forwarded to the classic single-run CLI (``repro.cli.main``), so
+``python -m repro.cli --program k.py`` and ``python -m repro.cli.main
+--program k.py`` are interchangeable.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        from repro.cli.serve import main as serve_main
+
+        return serve_main(argv[1:])
+    from repro.cli.main import main as classic_main
+
+    return classic_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

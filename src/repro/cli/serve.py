@@ -1,0 +1,148 @@
+"""``python -m repro.cli serve`` — run the synthesis daemon.
+
+Starts a :class:`~repro.serve.daemon.SynthesisDaemon` on a state directory
+and blocks until a client sends ``shutdown`` (or SIGINT/SIGTERM).  Prints a
+``listening on <socket>`` readiness line on stdout once the socket accepts
+connections, so wrappers can wait for it instead of sleeping::
+
+    python -m repro.cli serve --state-dir results/serve --workers 2
+
+Clients talk to the socket with :class:`~repro.serve.client.ServeClient`.
+The state directory is durable: kill the daemon, start it again on the same
+``--state-dir``, and finished requests are re-served from the request log
+while pending ones resume — no re-solving of completed work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli serve",
+        description="Run the STENSO synthesis daemon (warm worker pool, "
+        "durable request queue, content-addressed result store).",
+    )
+    parser.add_argument(
+        "--state-dir",
+        type=Path,
+        required=True,
+        help="Daemon state directory (lock, socket, request log, store).",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="Persistent synthesis workers."
+    )
+    parser.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        help="Unix socket path (default: <state-dir>/daemon.sock; note the "
+        "~100-char AF_UNIX path limit).",
+    )
+    parser.add_argument(
+        "--cost_estimator",
+        choices=("flops", "measured"),
+        default="flops",
+        help="Cost model used for every request.",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="Default per-kernel synthesis budget (s); requests can lower it.",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Default solver-call budget per kernel; requests can lower it.",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="Deterministic fault-injection plan (testing), e.g. "
+        "'solver[kernel]:raise' (overrides $STENSO_FAULTS).",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="Collect worker span traces; exported to <state-dir>/trace.json "
+        "at shutdown.",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="Render the live progress board on stderr.",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="Emit structured logs as one JSON object per line on stderr.",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.errors import StensoError
+    from repro.obs.log import configure as configure_logging
+    from repro.serve.daemon import SynthesisDaemon
+    from repro.synth.config import SynthesisConfig
+
+    configure_logging(json_mode=args.log_json)
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer, install_tracer
+
+        tracer = Tracer()
+        install_tracer(tracer)
+
+    fault_plan = None
+    if args.faults:
+        from repro.resilience import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: bad --faults plan: {exc}", file=sys.stderr)
+            return 2
+    config = SynthesisConfig(
+        timeout_seconds=args.timeout,
+        max_solver_calls=args.budget,
+        fault_plan=fault_plan,
+    )
+
+    daemon = SynthesisDaemon(
+        args.state_dir,
+        workers=args.workers,
+        cost_model=args.cost_estimator,
+        config=config,
+        socket_path=args.socket,
+        trace=args.trace,
+        progress=args.progress or None,
+    )
+    try:
+        daemon.start()
+    except StensoError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"listening on {daemon.socket_path}", flush=True)
+    try:
+        daemon.serve_forever()
+    finally:
+        if tracer is not None:
+            trace_path = daemon.state_dir / "trace.json"
+            tracer.close_open_spans()
+            if tracer.export_chrome(trace_path):
+                print(f"trace -> {trace_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

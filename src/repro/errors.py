@@ -59,3 +59,8 @@ class BenchmarkError(StensoError):
 class JournalError(StensoError):
     """A run journal is missing, locked by another run, or was recorded
     under a different synthesis configuration than the resuming one."""
+
+
+class ServeError(StensoError):
+    """A synthesis service operation failed (daemon unreachable, state dir
+    locked by another daemon, request rejected, or a protocol error)."""

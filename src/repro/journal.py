@@ -102,6 +102,34 @@ def _encode(payload: dict) -> str:
     return json.dumps({**payload, "checksum": _checksum(payload)}, sort_keys=True)
 
 
+def encode_line(payload: dict) -> str:
+    """Public form of the journal line codec, for sibling write-ahead logs.
+
+    The serve-layer request log (:mod:`repro.serve.daemon`) and the
+    content-addressed result store (:mod:`repro.serve.store`) reuse the exact
+    journal framing — checksummed, sorted-key JSON — so every durable file in
+    the system tolerates torn writes the same way.
+    """
+    return _encode(payload)
+
+
+def decode_line(line: str) -> dict | None:
+    """Decode one checksummed line; None when torn or corrupt."""
+    try:
+        payload = json.loads(line)
+        want = payload.pop("checksum", None)
+        if want != _checksum(payload):
+            return None
+        return payload
+    except Exception:  # noqa: BLE001 — torn/corrupt lines are expected inputs
+        return None
+
+
+def read_entries(file: Path) -> tuple[list[dict], int]:
+    """All checksum-valid entries of a journal-framed file + dropped count."""
+    return RunJournal._read_entries(file)
+
+
 def _fingerprint_of(config: "SynthesisConfig", cost_model: "CostModel | str") -> str:
     from repro.cost import make_cost_model
     from repro.synth.cache import synthesis_fingerprint

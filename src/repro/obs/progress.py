@@ -38,6 +38,12 @@ class ProgressBoard:
 
     # -- updates ---------------------------------------------------------------
 
+    def grow(self, n: int = 1) -> None:
+        """Raise the expected total (service mode: requests arrive over time)."""
+        self.total += n
+        self._dirty = True
+        self._render(transition=True)
+
     def start(self, kernel: str) -> None:
         self._state[kernel] = {
             "status": "running",

@@ -13,8 +13,9 @@ kernels of a module over worker processes in waves:
    pattern goes to a worker, duplicates wait for its verdict;
 3. workers run full synthesis with the persistent cache and return their
    outcome, mined rules, and a cache *delta* (entries they added);
-4. the parent merges rules and deltas deterministically in kernel order and
-   saves the cache, so the next wave's workers start warm.
+4. the parent merges rules deterministically in kernel order; deltas are
+   merged by the pool as they arrive and fanned out to peer workers with the
+   next dispatch, so everyone stays warm without a disk round-trip.
 
 The wave structure is what makes later kernels benefit from earlier
 discoveries exactly as in the sequential pipeline: a duplicate of an
@@ -24,32 +25,38 @@ discoveries exactly as in the sequential pipeline: a duplicate of an
 driver is bypassed entirely (`ModuleOptimizer.optimize_module` keeps the
 sequential path).
 
-Resilience (see :mod:`repro.resilience`): each kernel runs in its own
-process with a cooperative synthesis budget *and* a hard deadline — a worker
-stuck in a pathological SymPy call is SIGTERM'd (then SIGKILL'd) and the
-kernel reported ``status='timeout'``; a worker that *crashes* (OOM, injected
-death) is replaced with bounded retry + exponential backoff, falling back to
-in-parent synthesis after the retries; a worker whose synthesis *raises* is
-reported ``status='error'`` without retry (the failure is deterministic).
-Every kernel always gets a structured :class:`KernelOutcome`, and the rest
-of the module keeps optimizing.
+Execution rides on the persistent :class:`~repro.serve.pool.WorkerPool`
+(one pool per module run, spawned at the first wave): workers stay warm
+across waves — the persistent cache, the intern table, and SymPy's memo
+caches are loaded once per *run*, not once per kernel — and new cache
+entries fan out to peer workers with the next dispatch instead of a disk
+round-trip per wave.
+
+Resilience (see :mod:`repro.resilience`): each kernel runs in a pool worker
+with a cooperative synthesis budget *and* a hard deadline — a worker stuck
+in a pathological SymPy call is SIGTERM'd (then SIGKILL'd) and the kernel
+reported ``status='timeout'``; a worker that *crashes* (OOM, injected death)
+is replaced by a live one with bounded retry + exponential backoff, falling
+back to in-parent synthesis after the retries; a worker whose synthesis
+*raises* is reported ``status='error'`` without retry (the failure is
+deterministic).  Every kernel always gets a structured
+:class:`KernelOutcome`, and the rest of the module keeps optimizing.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
 import time
-from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cost import CostModel, make_cost_model
 from repro.obs.progress import ProgressBoard
-from repro.obs.trace import PipeSink, Tracer, get_tracer, install_tracer
+from repro.obs.trace import get_tracer
 from repro.pipeline import KernelOutcome, KernelSpec, ModuleOptimizer, ModuleResult
-from repro.resilience import ResiliencePolicy, inject
+from repro.resilience import ResiliencePolicy
 from repro.rules.mining import MinedRule
-from repro.synth.cache import PersistentCache, as_cache
+from repro.serve.pool import PoolTask, WorkerPool
+from repro.synth.cache import as_cache
 from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
 
 
@@ -79,102 +86,8 @@ def _batch_key(spec: KernelSpec, config: SynthesisConfig) -> str:
         return f"__opaque__:{spec.name}:{spec.source}:{sorted(spec.inputs)}"
 
 
-def _synthesize_worker(
-    spec: KernelSpec,
-    cost_model: CostModel,
-    config: SynthesisConfig,
-    cache_path,
-) -> tuple[KernelOutcome, list[MinedRule], dict]:
-    """Run full synthesis for one kernel in a worker process.
-
-    The worker loads the persistent cache read-mostly and ships back only its
-    delta; the parent owns merging and saving (no cross-process locking).
-    """
-    cache = PersistentCache(cache_path) if cache_path is not None else None
-    optimizer = ModuleOptimizer(
-        cost_model=cost_model, config=config, rules=(), cache=cache
-    )
-    outcome = optimizer.optimize_kernel(spec)
-    delta = cache.delta() if cache is not None else {}
-    return outcome, optimizer.rules, delta
-
-
-def _worker_main(conn, spec, cost_model, config, cache_path, attempt, trace=False) -> None:
-    """Worker-process entry point: synthesize and ship the result back.
-
-    An exception inside synthesis is sent as ``('error', message)`` — it is
-    deterministic, so the parent reports it without retry.  A crash (the
-    ``worker`` fault site's ``die`` action, an OOM kill) sends nothing; the
-    parent sees the dead process and retries.  ``attempt`` is the parent's
-    1-based retry counter, passed to the fault site so plans can model
-    transient failures (``worker:die@1`` kills only the first attempt).
-
-    With ``trace=True`` the worker installs a :class:`~repro.obs.trace.Tracer`
-    whose sink forwards event batches over the same pipe as ``('trace',
-    batch)`` messages, interleaved before the final result; the parent merges
-    them into its own tracer (rebasing the worker's clock) and feeds the live
-    progress board.  Tracing is best-effort: a failing sink silently disables
-    itself and the synthesis result still arrives.
-    """
-    tracer = None
-    if trace:
-        try:
-            tracer = Tracer(process=f"worker:{spec.name}", sink=PipeSink(conn))
-            install_tracer(tracer)
-        except Exception:
-            tracer = None
-    try:
-        inject("worker", key=spec.name, index=attempt, config=config)
-        payload = _synthesize_worker(spec, cost_model, config, cache_path)
-        if tracer is not None:
-            try:
-                tracer.close_open_spans()
-                tracer.flush()
-            except Exception:
-                pass
-        conn.send(("ok", payload))
-    except BaseException as exc:  # noqa: BLE001 — report, never hang the parent
-        try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-        except Exception:
-            pass
-    finally:
-        try:
-            conn.close()
-        except Exception:
-            pass
-
-
-def _stop_process(proc, grace_s: float) -> None:
-    """SIGTERM, wait ``grace_s``, then SIGKILL a worker process."""
-    try:
-        proc.terminate()
-        proc.join(grace_s)
-        if proc.is_alive():
-            proc.kill()
-            proc.join(1.0)
-    except Exception:
-        pass
-
-
-@dataclass
-class _Task:
-    idx: int
-    spec: KernelSpec
-    key: str
-    attempt: int = 1
-    ready_at: float = 0.0
-
-
-@dataclass
-class _Running:
-    task: _Task
-    proc: object
-    conn: object
-    hard_deadline: float | None
-
-
-_STILL_RUNNING = object()
+#: Public name — the serve daemon keys its duplicate-pattern fast path on it.
+batch_key = _batch_key
 
 
 class ParallelModuleOptimizer:
@@ -243,6 +156,24 @@ class ParallelModuleOptimizer:
         from repro.resilience import InterruptGuard
 
         board = ProgressBoard(len(kernels))
+        parent_tracer = get_tracer()
+        node_counts: dict[str, int] = {}
+
+        def on_trace(task: PoolTask, batch) -> None:
+            self._absorb_trace(parent_tracer, task, batch, board, node_counts)
+
+        # One persistent pool for the whole module run: workers stay warm
+        # across waves.  Forward worker trace events whenever the parent
+        # traces *or* a live progress board wants per-kernel node counts.
+        pool = WorkerPool(
+            self.workers,
+            cost_model=self.cost_model,
+            config=self.config,
+            cache=self.cache,
+            policy=self.policy,
+            trace=parent_tracer.enabled or board.enabled,
+            on_trace=on_trace,
+        )
         outcomes: list[KernelOutcome | None] = [None] * len(kernels)
         pending: list[tuple[int, KernelSpec]] = []
         for idx, spec in enumerate(kernels):
@@ -260,61 +191,64 @@ class ParallelModuleOptimizer:
         interrupted = False
 
         guard = InterruptGuard() if journal is not None else nullcontext()
-        with guard as stop:
-            while pending:
-                if stop is not None and stop.requested():
-                    interrupted = True
-                    break
-                deferred: list[tuple[int, KernelSpec]] = []
-                wave: list[tuple[int, KernelSpec, str]] = []
-                wave_keys: set[str] = set()
-                for idx, spec in pending:
-                    try:
-                        cached = self._seq.try_rule_cache(spec)
-                    except Exception as exc:  # noqa: BLE001 — classify, don't crash
-                        outcomes[idx] = self._seq.failed_outcome(
-                            spec, "error", f"{type(exc).__name__}: {exc}"
-                        )
-                        self._journal(journal, spec, outcomes[idx])
-                        continue
-                    if cached is not None:
-                        outcomes[idx] = cached
-                        self._journal(journal, spec, cached)
-                        board.finish(spec.name, "rule-cache")
-                        continue
-                    key = _batch_key(spec, self.config)
-                    if key in failed_keys:
-                        status, error = failed_keys[key]
-                        outcomes[idx] = self._seq.failed_outcome(
-                            spec, status, error or "pattern representative failed"
-                        )
-                        self._journal(journal, spec, outcomes[idx])
-                        board.finish(spec.name, status)
-                        continue
-                    if key in unimproved_keys:
-                        # This pattern already synthesized to "no improvement";
-                        # rerunning the search cannot change the verdict.
-                        outcomes[idx] = self._seq.unchanged_outcome(spec)
-                        self._journal(journal, spec, outcomes[idx])
-                        board.finish(spec.name, "unchanged")
-                        continue
-                    if key in wave_keys:
-                        deferred.append((idx, spec))  # wait for the representative
-                        continue
-                    wave_keys.add(key)
-                    wave.append((idx, spec, key))
+        try:
+            with guard as stop:
+                while pending:
+                    if stop is not None and stop.requested():
+                        interrupted = True
+                        break
+                    deferred: list[tuple[int, KernelSpec]] = []
+                    wave: list[tuple[int, KernelSpec, str]] = []
+                    wave_keys: set[str] = set()
+                    for idx, spec in pending:
+                        try:
+                            cached = self._seq.try_rule_cache(spec)
+                        except Exception as exc:  # noqa: BLE001 — classify, don't crash
+                            outcomes[idx] = self._seq.failed_outcome(
+                                spec, "error", f"{type(exc).__name__}: {exc}"
+                            )
+                            self._journal(journal, spec, outcomes[idx])
+                            continue
+                        if cached is not None:
+                            outcomes[idx] = cached
+                            self._journal(journal, spec, cached)
+                            board.finish(spec.name, "rule-cache")
+                            continue
+                        key = _batch_key(spec, self.config)
+                        if key in failed_keys:
+                            status, error = failed_keys[key]
+                            outcomes[idx] = self._seq.failed_outcome(
+                                spec, status, error or "pattern representative failed"
+                            )
+                            self._journal(journal, spec, outcomes[idx])
+                            board.finish(spec.name, status)
+                            continue
+                        if key in unimproved_keys:
+                            # This pattern already synthesized to "no improvement";
+                            # rerunning the search cannot change the verdict.
+                            outcomes[idx] = self._seq.unchanged_outcome(spec)
+                            self._journal(journal, spec, outcomes[idx])
+                            board.finish(spec.name, "unchanged")
+                            continue
+                        if key in wave_keys:
+                            deferred.append((idx, spec))  # wait for the representative
+                            continue
+                        wave_keys.add(key)
+                        wave.append((idx, spec, key))
 
-                if not wave:
-                    break  # everything resolved via rule cache / dedup
-                self._run_wave(
-                    wave, unimproved_keys, failed_keys, outcomes, timeout_s,
-                    journal=journal, stop=stop, board=board,
-                )
-                if stop is not None and stop.requested():
-                    interrupted = True
-                    break
-                pending = deferred
+                    if not wave:
+                        break  # everything resolved via rule cache / dedup
+                    self._run_wave(
+                        wave, unimproved_keys, failed_keys, outcomes, timeout_s,
+                        pool=pool, journal=journal, stop=stop, board=board,
+                    )
+                    if stop is not None and stop.requested():
+                        interrupted = True
+                        break
+                    pending = deferred
 
+        finally:
+            pool.stop()
         board.close()
         if self.cache is not None:
             self.cache.save()
@@ -339,7 +273,7 @@ class ParallelModuleOptimizer:
     @staticmethod
     def _absorb_trace(
         parent_tracer,
-        task: "_Task",
+        task: PoolTask,
         batch,
         board: ProgressBoard | None,
         node_counts: dict[str, int],
@@ -347,7 +281,7 @@ class ParallelModuleOptimizer:
         """Merge one forwarded worker event batch (strictly best-effort)."""
         try:
             if parent_tracer.enabled:
-                parent_tracer.add_events(batch, worker=task.idx)
+                parent_tracer.add_events(batch, worker=task.id)
             if board is not None:
                 expanded = sum(1 for e in batch if e.get("name") == "dfs")
                 if expanded:
@@ -366,158 +300,48 @@ class ParallelModuleOptimizer:
         failed_keys: dict[str, tuple[str, str | None]],
         outcomes: list[KernelOutcome | None],
         timeout_s: float | None,
+        pool: WorkerPool,
         journal=None,
         stop=None,
         board: ProgressBoard | None = None,
     ) -> None:
-        # Workers read the cache from disk: persist pending entries first.
-        cache_path = None
-        if self.cache is not None:
-            self.cache.save()
-            cache_path = self.cache.path
-        policy = self.policy
-        # The worker's cooperative budget is the per-kernel deadline; the
-        # hard deadline sits above it so a well-behaved worker returns its
-        # best-so-far result by itself and only stuck ones get killed.
-        effective_timeout = timeout_s
-        worker_config = self.config
-        if timeout_s is not None:
-            worker_config = self.config.replace(
-                timeout_seconds=min(timeout_s, self.config.timeout_seconds)
-            )
-        else:
-            effective_timeout = self.config.timeout_seconds
-        hard_timeout = policy.hard_deadline_for(effective_timeout)
-        # The constructor's default worker count is already clamped to the
-        # CPU count; an explicit ``workers`` request is honored even above it
-        # (a hung kernel must not serialize the rest of the wave on a small
-        # machine — isolation beats contention here).
-        max_workers = max(1, min(self.workers, len(wave)))
-        ctx = mp.get_context()
-        parent_tracer = get_tracer()
-        # Forward worker trace events whenever the parent traces *or* a live
-        # progress board wants per-kernel node counts.
-        forward_trace = parent_tracer.enabled or (board is not None and board.enabled)
-        node_counts: dict[str, int] = {}
+        # Submit the whole wave to the persistent pool (task id = kernel
+        # index).  The pool owns dispatch, hard deadlines, crash retry on a
+        # live replacement worker, and fanning cache deltas out to peers.
+        wave_ids = set()
+        for idx, spec, key in wave:
+            pool.submit(idx, spec, timeout_s=timeout_s)
+            wave_ids.add(idx)
+            if board is not None:
+                board.start(spec.name)
 
-        queue: list[_Task] = [_Task(idx, spec, key) for idx, spec, key in wave]
-        running: list[_Running] = []
         results: dict[int, tuple[str, object]] = {}
-
-        while queue or running:
+        while len(results) < len(wave):
             if stop is not None and stop.requested():
-                # Graceful interruption: stop dispatching, kill in-flight
+                # Graceful interruption: drop queued tasks, kill+replace busy
                 # workers (their kernels stay un-journaled and are redone on
                 # resume), keep every already-journaled outcome.
-                for r in running:
-                    _stop_process(r.proc, policy.kill_grace_s)
-                    r.conn.close()
-                running.clear()
-                queue.clear()
+                pool.cancel_all()
                 break
-            now = time.monotonic()
-            # Launch ready tasks into free slots.
-            for task in [t for t in queue if t.ready_at <= now]:
-                if len(running) >= max_workers:
-                    break
-                queue.remove(task)
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        child_conn,
-                        task.spec,
-                        self.cost_model,
-                        worker_config,
-                        cache_path,
-                        task.attempt,
-                        forward_trace,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                deadline = now + hard_timeout if hard_timeout is not None else None
-                running.append(_Running(task, proc, parent_conn, deadline))
-                if board is not None:
-                    board.start(task.spec.name)
-
-            progressed = False
-            for r in list(running):
-                # Drain the pipe: interleaved ('trace', batch) messages are
-                # absorbed (parent tracer merge + progress board) until the
-                # final ('ok'|'error', payload) message or an empty pipe.
-                msg = _STILL_RUNNING
-                try:
-                    while r.conn.poll(0):
-                        received = r.conn.recv()
-                        if (
-                            isinstance(received, tuple)
-                            and len(received) == 2
-                            and received[0] == "trace"
-                        ):
-                            self._absorb_trace(
-                                parent_tracer, r.task, received[1], board, node_counts
-                            )
-                            continue
-                        msg = received
-                        break
-                except (EOFError, OSError):
-                    msg = None  # died mid-send: treat as a crash
-                if msg is _STILL_RUNNING and not r.proc.is_alive():
-                    msg = None  # died without reporting: crash
-                if msg is _STILL_RUNNING:
-                    if (
-                        r.hard_deadline is not None
-                        and time.monotonic() > r.hard_deadline
-                    ):
-                        # Hung worker (cooperative checks defeated, e.g. one
-                        # pathological SymPy call): hard-kill and move on.
-                        _stop_process(r.proc, policy.kill_grace_s)
-                        running.remove(r)
-                        r.conn.close()
-                        results[r.task.idx] = (
-                            "timeout",
-                            f"kernel exceeded its {effective_timeout:g}s deadline; "
-                            "worker killed",
-                        )
-                        if board is not None:
-                            board.finish(r.task.spec.name, "timeout")
-                        progressed = True
+            events = pool.step()
+            for event in events:
+                if event.task_id not in wave_ids:
                     continue
-                running.remove(r)
-                r.conn.close()
-                r.proc.join()
-                progressed = True
-                if msg is None:
-                    # Crashed worker: replace it (bounded retry with backoff),
-                    # then fall back to synthesizing in the parent.
-                    task = r.task
-                    if task.attempt <= policy.max_retries:
-                        backoff = policy.retry_backoff_s * (2 ** (task.attempt - 1))
-                        task.attempt += 1
-                        task.ready_at = time.monotonic() + backoff
-                        queue.append(task)
-                    else:
-                        results[task.idx] = ("crashed", None)
-                        if board is not None:
-                            board.finish(task.spec.name, "crashed")
-                else:
-                    kind, payload = msg
-                    results[r.task.idx] = (kind, payload)
-                    if kind == "ok":
-                        # Write-ahead: the outcome is durable the moment the
-                        # parent learns it, not at end-of-wave merge.
-                        self._journal(journal, r.task.spec, payload[0])
-                        if board is not None:
-                            board.finish(r.task.spec.name, payload[0].status)
-                    elif board is not None:
-                        board.finish(r.task.spec.name, kind)
-            if (queue or running) and not progressed:
-                time.sleep(policy.poll_interval_s)
+                results[event.task_id] = (event.kind, event.payload)
+                if event.kind == "ok":
+                    # Write-ahead: the outcome is durable the moment the
+                    # parent learns it, not at end-of-wave merge.
+                    self._journal(journal, event.task.spec, event.payload[0])
+                    if board is not None:
+                        board.finish(event.task.spec.name, event.payload[0].status)
+                elif board is not None:
+                    board.finish(event.task.spec.name, event.kind)
+            if not events and len(results) < len(wave):
+                time.sleep(self.policy.poll_interval_s)
 
-        # Merge in submission (kernel) order: rule merging and cache deltas
-        # stay deterministic regardless of completion order.
+        # Merge in submission (kernel) order: rule merging stays deterministic
+        # regardless of completion order.  Cache deltas were already merged by
+        # the pool as each task finished (and fanned out to peer workers).
         for idx, spec, key in wave:
             if idx not in results:
                 continue  # interrupted before this kernel resolved
@@ -537,11 +361,9 @@ class ParallelModuleOptimizer:
             elif kind == "error":
                 outcome = self._seq.failed_outcome(spec, "error", payload)
             else:
-                outcome, rules, delta = payload
+                outcome, rules, _delta = payload
                 for rule in rules:
                     self._seq.absorb_rule(rule)
-                if self.cache is not None and delta:
-                    self.cache.merge_delta(delta)
             if kind != "ok":  # 'ok' outcomes were journaled at arrival
                 self._journal(journal, spec, outcome)
             outcomes[idx] = outcome

@@ -1,0 +1,28 @@
+"""Synthesis-as-a-service: persistent warm worker pool + daemon + client.
+
+* :class:`~repro.serve.pool.WorkerPool` — persistent synthesis workers with
+  crash replacement and cache-delta fan-out (also drives the parallel batch
+  pipeline's waves).
+* :class:`~repro.serve.daemon.SynthesisDaemon` — long-lived daemon with a
+  durable prioritized request queue over a Unix socket.
+* :class:`~repro.serve.client.ServeClient` — thin client API
+  (``submit`` / ``status`` / ``result`` / ``metrics`` / ``shutdown``).
+* :class:`~repro.serve.store.ContentStore` — content-addressed finished
+  results for fleet-wide dedup.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeRequest, SynthesisDaemon
+from repro.serve.pool import PoolEvent, PoolTask, WorkerPool
+from repro.serve.store import ContentStore, content_key
+
+__all__ = [
+    "ContentStore",
+    "PoolEvent",
+    "PoolTask",
+    "ServeClient",
+    "ServeRequest",
+    "SynthesisDaemon",
+    "WorkerPool",
+    "content_key",
+]

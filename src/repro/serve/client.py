@@ -1,0 +1,121 @@
+"""Thin client for a running :class:`~repro.serve.daemon.SynthesisDaemon`.
+
+Each operation opens a fresh Unix-socket connection — the daemon is local
+and connection setup is microseconds, so a connection-per-op keeps the
+client trivially safe to share across threads and robust to daemon
+restarts.  All failures surface as :class:`~repro.errors.ServeError`.
+
+    client = ServeClient(state_dir / "daemon.sock")
+    rid = client.submit(spec, priority=5)
+    outcome = client.result(rid, wait=True)
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+
+from repro.errors import ServeError
+from repro.pipeline import KernelOutcome, KernelSpec
+from repro.serve.wire import recv_msg, send_msg, spec_to_payload
+
+
+class ServeClient:
+    """Submit kernels to, and read results from, a local synthesis daemon."""
+
+    def __init__(self, socket_path: str | Path, timeout_s: float = 30.0) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout_s = timeout_s
+
+    def _call(self, payload: dict, timeout_s: float | None = None) -> dict:
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout_s if timeout_s is not None else self.timeout_s)
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.socket_path}: {exc}"
+            ) from exc
+        try:
+            send_msg(sock, payload)
+            with sock.makefile("r") as fh:
+                reply = recv_msg(fh)
+        except OSError as exc:
+            raise ServeError(f"daemon connection failed: {exc}") from exc
+        finally:
+            sock.close()
+        if reply is None:
+            raise ServeError("daemon closed the connection without replying")
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", "request rejected"))
+        return reply
+
+    # -- operations ------------------------------------------------------------
+
+    def ping(self) -> bool:
+        try:
+            self._call({"op": "ping"}, timeout_s=2.0)
+            return True
+        except ServeError:
+            return False
+
+    def wait_ready(self, timeout_s: float = 20.0) -> None:
+        """Block until the daemon answers pings (daemon started as a
+        subprocess needs a moment to bind its socket)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.ping():
+                return
+            time.sleep(0.05)
+        raise ServeError(f"daemon at {self.socket_path} not ready in {timeout_s:g}s")
+
+    def submit(
+        self,
+        spec: KernelSpec,
+        priority: int = 0,
+        timeout_s: float | None = None,
+        max_solver_calls: int | None = None,
+    ) -> str:
+        """Durably enqueue one kernel; returns its request id."""
+        payload = {
+            "op": "submit",
+            "spec": spec_to_payload(spec),
+            "priority": priority,
+        }
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        if max_solver_calls is not None:
+            payload["max_solver_calls"] = max_solver_calls
+        return self._call(payload)["id"]
+
+    def status(self, request_id: str | None = None) -> dict:
+        """One request's state, or (without an id) daemon-wide totals."""
+        payload: dict = {"op": "status"}
+        if request_id is not None:
+            payload["id"] = request_id
+        reply = self._call(payload)
+        reply.pop("ok", None)
+        return reply
+
+    def result(
+        self, request_id: str, wait: bool = False, timeout_s: float = 600.0
+    ) -> KernelOutcome:
+        """The finished outcome for one request.
+
+        With ``wait=True`` the daemon holds the connection open until the
+        request is terminal (or ``timeout_s`` elapses).
+        """
+        reply = self._call(
+            {"op": "result", "id": request_id, "wait": wait, "timeout_s": timeout_s},
+            timeout_s=timeout_s + 5.0 if wait else None,
+        )
+        return KernelOutcome(**reply["outcome"])
+
+    def metrics(self) -> dict:
+        """The daemon's live metrics snapshot (counters/gauges/histograms)."""
+        return self._call({"op": "metrics"})["metrics"]
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the daemon; ``drain=True`` finishes queued work first."""
+        self._call({"op": "shutdown", "drain": drain}, timeout_s=None)

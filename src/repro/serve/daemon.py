@@ -1,0 +1,701 @@
+"""Synthesis-as-a-service: a long-lived daemon over the warm worker pool.
+
+The batch pipeline pays its dominant costs — process spawn, SymPy warm-up,
+persistent-cache load — once per *kernel*.  :class:`SynthesisDaemon`
+restructures the system so they are paid once per daemon lifetime:
+
+* a :class:`~repro.serve.pool.WorkerPool` of persistent workers, spawned at
+  startup, keeps the intern table / residue batteries / solver caches hot
+  in-process across every request the daemon ever serves;
+* an **async request queue** with per-request priority and budget
+  (``timeout_s`` / ``max_solver_calls``, enforced through the workers'
+  cooperative :class:`~repro.resilience.Budget` plus the pool's hard
+  deadline);
+* a journal-framed **request log** (``requests.jsonl``, the
+  :mod:`repro.journal` line codec): a submit is acknowledged only after it is
+  durable, results are write-ahead logged on arrival, and a killed daemon
+  restarted on the same state dir resumes exactly the pending requests —
+  finished ones are served from the log with **zero** re-solving;
+* a :class:`~repro.serve.store.ContentStore` keyed by
+  ``(synthesis fingerprint, kernel identity)``: concurrent clients (or
+  daemon restarts) submitting the identical kernel trigger one synthesis and
+  all receive the result.  In-flight dedup attaches followers to the running
+  request; completed work is served from the store.
+
+State directory layout::
+
+    <state_dir>/daemon.lock      exclusive daemon lock (second daemon refused)
+    <state_dir>/daemon.sock      Unix socket (clients)
+    <state_dir>/requests.jsonl   durable request/result log
+    <state_dir>/store/           content-addressed results + shared cache
+    <state_dir>/metrics.json     metrics snapshot (final at shutdown)
+
+Threading model: one accept thread plus one short-lived thread per client
+connection mutate daemon state only under ``self._lock``; the dispatcher
+loop (:meth:`serve_forever`, main thread) owns the pool.  The pool uses the
+``spawn`` start context — the daemon is multi-threaded, and forking a
+threaded process is a deadlock lottery.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ServeError
+from repro.journal import encode_line, kernel_key, read_entries
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressBoard
+from repro.obs.trace import get_tracer
+from repro.pipeline import KernelOutcome, KernelSpec, ModuleOptimizer
+from repro.resilience import FileLock, ResiliencePolicy, inject
+from repro.serve.pool import WorkerPool
+from repro.serve.store import ContentStore, content_key
+from repro.serve.wire import recv_msg, send_msg, spec_from_payload, spec_to_payload
+from repro.synth.cache import PersistentCache, synthesis_fingerprint
+from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
+
+_LOG_VERSION = 1
+
+
+@dataclass
+class ServeRequest:
+    """One submitted kernel and its lifecycle state."""
+
+    id: str
+    spec: KernelSpec
+    priority: int = 0
+    timeout_s: float | None = None
+    max_solver_calls: int | None = None
+    state: str = "queued"  # 'queued' | 'running' | 'done'
+    outcome: KernelOutcome | None = None
+    served_from: str | None = None
+    #: Requests deduplicated onto this one (they complete when it does).
+    followers: list["ServeRequest"] = field(default_factory=list)
+    content_key: str = ""
+    submitted_at: float = 0.0
+
+
+class RequestLog:
+    """Write-ahead log of requests and results, in journal line framing.
+
+    Every line is checksummed; a torn tail (daemon killed mid-append) is
+    dropped on read, corrupt lines are skipped.  The header binds the log to
+    the daemon's synthesis fingerprint — restarting over a state dir written
+    under a different config is refused rather than silently served stale.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str, config=None) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._config = config
+        self._fh = None
+
+    def load(self) -> tuple[list[dict], dict[str, dict]]:
+        """Replay the log: (request entries in order, results by request id)."""
+        requests: list[dict] = []
+        results: dict[str, dict] = {}
+        if not self.path.exists():
+            return requests, results
+        entries, _dropped = read_entries(self.path)
+        if entries:
+            header = entries[0]
+            if (
+                header.get("type") != "serve-log"
+                or header.get("fingerprint") != self.fingerprint
+            ):
+                raise ServeError(
+                    f"request log {self.path} was written under a different "
+                    "synthesis configuration; refusing to serve stale results "
+                    "(use a fresh --state-dir)"
+                )
+        for entry in entries[1:]:
+            if entry.get("type") == "request":
+                requests.append(entry)
+            elif entry.get("type") == "result":
+                results[entry["id"]] = entry["outcome"]
+        return requests, results
+
+    def open(self) -> None:
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._fh = os.fdopen(fd, "a")
+        if fresh:
+            self._append(
+                encode_line(
+                    {
+                        "type": "serve-log",
+                        "version": _LOG_VERSION,
+                        "fingerprint": self.fingerprint,
+                    }
+                )
+            )
+
+    def _append(self, line: str, newline: bool = True) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(line + ("\n" if newline else ""))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_request(self, req: ServeRequest) -> None:
+        self._append(
+            encode_line(
+                {
+                    "type": "request",
+                    "id": req.id,
+                    "spec": spec_to_payload(req.spec),
+                    "priority": req.priority,
+                    "timeout_s": req.timeout_s,
+                    "max_solver_calls": req.max_solver_calls,
+                }
+            )
+        )
+
+    def record_result(self, req: ServeRequest) -> None:
+        line = encode_line(
+            {
+                "type": "result",
+                "id": req.id,
+                "served_from": req.served_from,
+                "outcome": asdict(req.outcome),
+            }
+        )
+        # Same fault site as RunJournal.record_outcome: 'corrupt' models a
+        # crash mid-append (torn line — dropped and re-derived on restart).
+        directive = inject("journal", key=req.spec.name, config=self._config)
+        if directive == "corrupt":
+            self._append(line[: len(line) // 2], newline=False)
+            return
+        self._append(line)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except Exception:
+                pass
+            self._fh = None
+
+
+class SynthesisDaemon:
+    """Owns the state dir, the socket, the queue, and the worker pool."""
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        workers: int = 2,
+        cost_model="flops",
+        config: SynthesisConfig | None = None,
+        policy: ResiliencePolicy | None = None,
+        socket_path: str | Path | None = None,
+        trace: bool = False,
+        progress: bool | None = False,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.config = config or DEFAULT_CONFIG
+        self.policy = policy or ResiliencePolicy()
+        self.socket_path = Path(
+            socket_path if socket_path is not None else self.state_dir / "daemon.sock"
+        )
+        self.metrics = MetricsRegistry()
+        self.store = ContentStore(self.state_dir / "store")
+        self._cache = PersistentCache(self.state_dir / "store" / "cache")
+        # The daemon's own optimizer: rule-cache fast path, restored-outcome
+        # re-verification, and structured failure outcomes.  It never runs a
+        # full synthesis in-process — the pool does that.
+        self._opt = ModuleOptimizer(
+            cost_model=cost_model,
+            config=self.config,
+            rules=(),
+            cache=self._cache,
+        )
+        self.fingerprint = synthesis_fingerprint(self.config, self._opt.cost_model)
+        self.pool = WorkerPool(
+            workers,
+            cost_model=self._opt.cost_model,
+            config=self.config,
+            cache=self._cache,
+            policy=self.policy,
+            trace=trace,
+            on_trace=self._on_trace,
+            ctx="spawn",
+        )
+        self.log = RequestLog(
+            self.state_dir / "requests.jsonl", self.fingerprint, config=self.config
+        )
+        self.board = ProgressBoard(0, enabled=progress)
+        self._lock = threading.RLock()
+        self._done_cond = threading.Condition(self._lock)
+        self._requests: dict[str, ServeRequest] = {}
+        self._heap: list[tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._inflight: dict[str, str] = {}  # content key -> leader request id
+        self._unimproved: dict[str, str] = {}  # batch key -> request id
+        self._seq = 0
+        self._stop = threading.Event()
+        self._drain = True
+        self._daemon_lock: FileLock | None = None
+        self._server_sock: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._node_counts: dict[str, int] = {}
+        self._completed_since_save = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Acquire the state dir, restore the log, spawn workers, bind the
+        socket.  Raises :class:`ServeError` if another daemon holds the dir."""
+        lock = FileLock(self.state_dir / "daemon.lock")
+        if not lock.acquire(blocking=False):
+            raise ServeError(
+                f"another daemon already serves {self.state_dir} "
+                "(daemon.lock is held)"
+            )
+        self._daemon_lock = lock
+        try:
+            self._restore()
+            self.log.open()
+            self.pool.start()
+            self._bind()
+        except BaseException:
+            self._release_lock()
+            raise
+
+    def _release_lock(self) -> None:
+        if self._daemon_lock is not None:
+            try:
+                self._daemon_lock.release()
+            except Exception:
+                pass
+            self._daemon_lock = None
+
+    def _bind(self) -> None:
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(str(self.socket_path))
+        sock.listen(16)
+        sock.settimeout(0.2)
+        self._server_sock = sock
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        accept.start()
+        self._threads.append(accept)
+
+    def _restore(self) -> None:
+        """Rebuild state from the request log: finished requests become
+        ``done`` (their outcomes re-served verbatim), pending ones re-enter
+        the queue — the crash cost is exactly the work that was in flight."""
+        request_entries, results = self.log.load()
+        restored = pending = 0
+        for entry in request_entries:
+            spec = spec_from_payload(entry["spec"])
+            req = ServeRequest(
+                id=entry["id"],
+                spec=spec,
+                priority=entry.get("priority", 0),
+                timeout_s=entry.get("timeout_s"),
+                max_solver_calls=entry.get("max_solver_calls"),
+                content_key=content_key(spec, self.fingerprint),
+            )
+            # Keep new ids monotonic past every restored one.
+            try:
+                self._seq = max(self._seq, int(entry["id"].lstrip("r")))
+            except ValueError:
+                pass
+            self._requests[req.id] = req
+            payload = results.get(req.id)
+            outcome = None
+            if payload is not None:
+                try:
+                    outcome = KernelOutcome(**payload)
+                except TypeError:
+                    outcome = None
+            if outcome is not None and (
+                not outcome.improved or self._opt._reverify_restored(spec, outcome)
+            ):
+                req.state = "done"
+                req.outcome = outcome
+                req.served_from = "restored"
+                restored += 1
+                continue
+            pending += 1
+            self._enqueue(req)
+        if restored or pending:
+            self.metrics.counter("serve.restored").inc(restored)
+            self.metrics.counter("serve.resumed_pending").inc(pending)
+            self.board.grow(pending)
+
+    def _enqueue(self, req: ServeRequest) -> None:
+        """Queue one request, or attach it to an identical in-flight one."""
+        leader_id = self._inflight.get(req.content_key)
+        if leader_id is not None:
+            leader = self._requests.get(leader_id)
+            if leader is not None and leader.state != "done":
+                leader.followers.append(req)
+                self.metrics.counter("serve.dedup_inflight").inc()
+                return
+        self._inflight[req.content_key] = req.id
+        self._seq += 1
+        heapq.heappush(self._heap, (-req.priority, self._seq, req.id))
+
+    # -- socket plumbing -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._server_sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            t = threading.Thread(target=self._serve_conn, args=(conn,), daemon=True)
+            t.start()
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        try:
+            with conn.makefile("r") as fh:
+                msg = recv_msg(fh)
+            if msg is None:
+                return
+            try:
+                reply = self._handle(msg)
+            except ServeError as exc:
+                reply = {"ok": False, "error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 — protocol errors reply, not kill
+                reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            send_msg(conn, reply)
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    # -- request handling ------------------------------------------------------
+
+    def _handle(self, msg: dict) -> dict:
+        op = msg.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid()}
+        if op == "submit":
+            return self._op_submit(msg)
+        if op == "status":
+            return self._op_status(msg)
+        if op == "result":
+            return self._op_result(msg)
+        if op == "metrics":
+            return {"ok": True, "metrics": self.metrics.snapshot()}
+        if op == "shutdown":
+            self._drain = bool(msg.get("drain", True))
+            self._stop.set()
+            with self._done_cond:
+                self._done_cond.notify_all()
+            return {"ok": True, "drain": self._drain}
+        raise ServeError(f"unknown op: {op!r}")
+
+    def _op_submit(self, msg: dict) -> dict:
+        if self._stop.is_set():
+            raise ServeError("daemon is shutting down; submission refused")
+        spec = spec_from_payload(msg["spec"])
+        with self._lock:
+            self._seq += 1
+            req = ServeRequest(
+                id=f"r{self._seq:05d}",
+                spec=spec,
+                priority=int(msg.get("priority", 0)),
+                timeout_s=msg.get("timeout_s"),
+                max_solver_calls=msg.get("max_solver_calls"),
+                content_key=content_key(spec, self.fingerprint),
+                submitted_at=time.monotonic(),
+            )
+            # Durability before acknowledgement: once the client holds the
+            # id, a daemon kill cannot lose the request.
+            self.log.record_request(req)
+            self._requests[req.id] = req
+            self.metrics.counter("serve.submitted").inc()
+            self.board.grow(1)
+
+            # Fleet-wide dedup, cheapest first: finished identical kernel in
+            # the content store, else attach to an identical in-flight one.
+            stored = self.store.get(req.content_key)
+            if stored is not None and (
+                not stored.improved
+                or self._opt._reverify_restored(spec, stored)
+            ):
+                self.metrics.counter("serve.store_hits").inc()
+                self._complete(req, stored, served_from="store")
+            else:
+                self._enqueue(req)
+            return {"ok": True, "id": req.id}
+
+    def _op_status(self, msg: dict) -> dict:
+        rid = msg.get("id")
+        with self._lock:
+            if rid is not None:
+                req = self._requests.get(rid)
+                if req is None:
+                    raise ServeError(f"unknown request id: {rid!r}")
+                out: dict = {"ok": True, "id": rid, "state": req.state}
+                if req.outcome is not None:
+                    out["status"] = req.outcome.status
+                    out["served_from"] = req.served_from
+                return out
+            by_state: dict[str, int] = {}
+            for req in self._requests.values():
+                by_state[req.state] = by_state.get(req.state, 0) + 1
+            return {
+                "ok": True,
+                "requests": by_state,
+                "queued": len(self._heap),
+                "pool": {
+                    "workers": self.pool.size,
+                    "alive": self.pool.alive_workers,
+                    "busy": self.pool.busy_workers,
+                    **self.pool.counters,
+                },
+            }
+
+    def _op_result(self, msg: dict) -> dict:
+        rid = msg["id"]
+        wait = bool(msg.get("wait"))
+        deadline = time.monotonic() + float(msg.get("timeout_s", 600.0))
+        with self._done_cond:
+            req = self._requests.get(rid)
+            if req is None:
+                raise ServeError(f"unknown request id: {rid!r}")
+            while req.state != "done":
+                if not wait:
+                    raise ServeError(f"request {rid} is {req.state}, not finished")
+                if self._stop.is_set() and not self._drain:
+                    raise ServeError("daemon shut down before the request finished")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServeError(f"request {rid} not finished in time")
+                self._done_cond.wait(min(remaining, 0.5))
+            return {
+                "ok": True,
+                "id": rid,
+                "served_from": req.served_from,
+                "outcome": asdict(req.outcome),
+            }
+
+    # -- completion ------------------------------------------------------------
+
+    def _complete(
+        self, req: ServeRequest, outcome: KernelOutcome, served_from: str
+    ) -> None:
+        """Terminal transition (caller holds the lock): durably record the
+        result, publish it, update telemetry, cascade to dedup followers."""
+        req.state = "done"
+        req.outcome = outcome
+        req.served_from = served_from
+        self.log.record_result(req)
+        if self._inflight.get(req.content_key) == req.id:
+            del self._inflight[req.content_key]
+        if served_from == "synthesis":
+            self.store.put(req.content_key, outcome)
+        self.metrics.counter("serve.completed").inc()
+        self.metrics.counter(f"serve.served_from.{served_from}").inc()
+        self.metrics.counter(f"serve.status.{outcome.status}").inc()
+        if req.submitted_at:
+            self.metrics.histogram("serve.request_seconds").observe(
+                time.monotonic() - req.submitted_at
+            )
+        self.board.finish(req.spec.name, outcome.status)
+        for follower in req.followers:
+            follower.state = "done"
+            follower.outcome = outcome
+            follower.served_from = "dedup"
+            self.log.record_result(follower)
+            self.metrics.counter("serve.completed").inc()
+            self.metrics.counter("serve.served_from.dedup").inc()
+            self.board.finish(follower.spec.name, outcome.status)
+        req.followers = []
+        self._done_cond.notify_all()
+
+    def _on_trace(self, task, batch) -> None:
+        """Forwarded worker trace events → parent tracer + progress board."""
+        try:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.add_events(batch, worker=task.id)
+            expanded = sum(1 for e in batch if e.get("name") == "dfs")
+            if expanded:
+                name = task.spec.name
+                self._node_counts[name] = self._node_counts.get(name, 0) + expanded
+                self.board.nodes(name, self._node_counts[name])
+        except Exception:  # noqa: BLE001 — telemetry must never fail dispatch
+            pass
+
+    # -- the dispatcher loop ---------------------------------------------------
+
+    def _dispatch_one(self, req: ServeRequest) -> None:
+        """Route one dequeued request (lock held): rule cache and known
+        unimproved patterns resolve instantly, everything else goes to the
+        pool."""
+        from repro.parallel import batch_key
+
+        try:
+            cached = self._opt.try_rule_cache(req.spec)
+        except Exception as exc:  # noqa: BLE001 — classify, don't crash
+            self._complete(
+                req,
+                self._opt.failed_outcome(
+                    req.spec, "error", f"{type(exc).__name__}: {exc}"
+                ),
+                served_from="error",
+            )
+            return
+        if cached is not None:
+            self.metrics.counter("serve.rule_cache_hits").inc()
+            self._complete(req, cached, served_from="rule-cache")
+            return
+        key = batch_key(req.spec, self.config)
+        if key in self._unimproved:
+            try:
+                outcome = self._opt.unchanged_outcome(req.spec)
+            except Exception as exc:  # noqa: BLE001
+                outcome = self._opt.failed_outcome(
+                    req.spec, "error", f"{type(exc).__name__}: {exc}"
+                )
+            self.metrics.counter("serve.pattern_hits").inc()
+            self._complete(req, outcome, served_from="pattern")
+            return
+        req.state = "running"
+        self.board.start(req.spec.name)
+        self.metrics.counter("serve.dispatched").inc()
+        self.pool.submit(
+            req.id,
+            req.spec,
+            timeout_s=req.timeout_s,
+            max_solver_calls=req.max_solver_calls,
+        )
+
+    def _handle_event(self, event) -> None:
+        from repro.parallel import batch_key
+
+        with self._lock:
+            req = self._requests.get(event.task_id)
+            if req is None:
+                return
+            if event.kind == "ok":
+                outcome, rules, _delta = event.payload  # delta already merged
+                for rule in rules:
+                    self._opt.absorb_rule(rule)
+                if outcome.status == "ok" and not outcome.improved:
+                    self._unimproved[batch_key(req.spec, self.config)] = req.id
+                self._complete(req, outcome, served_from="synthesis")
+                self._completed_since_save += 1
+            elif event.kind == "timeout":
+                self._complete(
+                    req,
+                    self._opt.failed_outcome(req.spec, "timeout", event.payload),
+                    served_from="timeout",
+                )
+            elif event.kind == "crashed":
+                self._complete(
+                    req,
+                    self._opt.failed_outcome(
+                        req.spec,
+                        "error",
+                        f"worker crashed {self.policy.max_retries + 1}x",
+                    ),
+                    served_from="crashed",
+                )
+            else:  # 'error'
+                self._complete(
+                    req,
+                    self._opt.failed_outcome(req.spec, "error", event.payload),
+                    served_from="error",
+                )
+
+    def serve_forever(self) -> None:
+        """The dispatcher loop; returns after a shutdown request (drained or
+        not).  Run :meth:`start` first."""
+        from repro.resilience import InterruptGuard
+
+        with InterruptGuard() as guard:
+            while True:
+                if guard.requested():
+                    self._drain = False
+                    self._stop.set()
+                if self._stop.is_set() and (not self._drain or self._idle()):
+                    break
+                dispatched = self._fill_pool()
+                events = self.pool.step() if self.pool.started else []
+                for event in events:
+                    self._handle_event(event)
+                if self._completed_since_save >= 8:
+                    self._save_cache()
+                if not events and not dispatched:
+                    time.sleep(self.policy.poll_interval_s)
+        self.close()
+
+    def _idle(self) -> bool:
+        with self._lock:
+            return not self._heap and self.pool.outstanding == 0
+
+    def _fill_pool(self) -> int:
+        """Move queued requests to the pool while it has idle capacity.
+
+        Priority lives in the daemon's heap, not the pool's FIFO: a request
+        is released to the pool only when a worker can take it, so a
+        higher-priority submission always overtakes queued lower ones.
+        """
+        n = 0
+        with self._lock:
+            while self._heap and self.pool.busy_workers + n < self.pool.size:
+                _, _, rid = heapq.heappop(self._heap)
+                req = self._requests.get(rid)
+                if req is None or req.state != "queued":
+                    continue
+                self._dispatch_one(req)
+                if req.state == "running":
+                    n += 1
+        return n
+
+    def _save_cache(self) -> None:
+        try:
+            self._cache.save()
+        except Exception:  # noqa: BLE001 — the cache is an accelerator
+            pass
+        self._completed_since_save = 0
+
+    def close(self) -> None:
+        """Tear down: stop the pool, flush cache + metrics, drop the lock."""
+        self._stop.set()
+        if not self._drain:
+            self.pool.cancel_all()
+        self.pool.stop()
+        self._save_cache()
+        try:
+            (self.state_dir / "metrics.json").write_text(
+                json.dumps(self.metrics.snapshot(), indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:
+            pass
+        if self._server_sock is not None:
+            try:
+                self._server_sock.close()
+            except Exception:
+                pass
+            self._server_sock = None
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+        self.log.close()
+        self.board.close()
+        self._release_lock()
+        with self._done_cond:
+            self._done_cond.notify_all()

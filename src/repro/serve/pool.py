@@ -1,0 +1,505 @@
+"""Persistent warm worker pool: synthesis workers that outlive their tasks.
+
+The wave-scheduled driver of :mod:`repro.parallel` used to spawn one process
+per kernel attempt.  On the project's 1-core bench host that *regressed* the
+batch (0.87x at 2 workers): every spawn re-loaded the persistent cache from
+disk, re-built SymPy's caches, and threw the warm
+:class:`~repro.symexec.interning.InternTable` away.  :class:`WorkerPool`
+fixes the model the way long-lived autotuning services (Ansor's measurement
+server, FlexTensor's persistent explorer) do:
+
+* workers are spawned **once** and loop over tasks — the in-process
+  ``PersistentCache`` entries, interned canonical forms, SymPy memo tables,
+  and cost-model memos stay hot across tasks, waves, and (for the daemon)
+  whole request batches;
+* the parent keeps a **shared delta log** of every cache entry any worker
+  discovers; deltas ride along with the next task dispatched to each worker
+  (watermarked, so nothing is re-sent), giving every worker its peers'
+  discoveries without a disk round-trip;
+* a worker that **crashes** is replaced by a live worker immediately and the
+  task retried with bounded backoff; the replacement's first task carries the
+  *entire* shared delta log, so a crash never costs the pool its warm state;
+* a worker that **hangs** past its task's hard deadline is killed and
+  replaced, and the task reported ``timeout`` — identical semantics to the
+  old per-wave driver, minus the respawn tax for everyone else.
+
+Protocol over each worker's duplex pipe::
+
+    parent -> worker   ("task", task_id, spec, overrides, attempt, sync_delta)
+                       ("stop",)
+    worker -> parent   ("trace", event_batch)                    # interleaved
+                       ("done", task_id, "ok", (outcome, rules, delta))
+                       ("done", task_id, "error", message)
+
+A crash is a pipe EOF / dead process with no ``done`` message.  Per-task
+``overrides`` carry the request's budget (``timeout_seconds`` /
+``max_solver_calls``) into the worker's :class:`~repro.resilience.Budget`.
+
+Both :class:`repro.parallel.ParallelModuleOptimizer` (one pool per module
+run, waves become task submissions) and the
+:class:`repro.serve.daemon.SynthesisDaemon` (one pool for the daemon's whole
+lifetime) drive their synthesis through this class.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cost import CostModel, make_cost_model
+from repro.obs.trace import PipeSink, Tracer, install_tracer
+from repro.pipeline import KernelSpec, ModuleOptimizer
+from repro.resilience import ResiliencePolicy, inject
+from repro.synth.cache import PersistentCache, as_cache
+from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
+
+_STILL_RUNNING = object()
+
+
+@dataclass
+class PoolTask:
+    """One synthesis task queued on (or running in) the pool."""
+
+    id: object
+    spec: KernelSpec
+    overrides: dict
+    effective_timeout: float | None
+    attempt: int = 1
+    ready_at: float = 0.0
+
+
+@dataclass
+class PoolEvent:
+    """A terminal task event: ``ok | error | timeout | crashed``.
+
+    ``payload`` is ``(outcome, rules, delta)`` for ``ok``, an error/timeout
+    message for ``error``/``timeout``, and None for ``crashed`` (retries
+    exhausted — the caller decides on a fallback).
+    """
+
+    kind: str
+    task_id: object
+    payload: object
+    task: PoolTask
+
+
+@dataclass
+class _Member:
+    """One live pool worker and its dispatch state."""
+
+    worker_id: int
+    proc: object
+    conn: object
+    task: PoolTask | None = None
+    hard_deadline: float | None = None
+    #: Position in the shared delta log already shipped to this worker.
+    watermark: int = 0
+    tasks_done: int = 0
+
+
+def _stop_process(proc, grace_s: float) -> None:
+    """SIGTERM, wait ``grace_s``, then SIGKILL a worker process."""
+    try:
+        proc.terminate()
+        proc.join(grace_s)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(1.0)
+    except Exception:
+        pass
+
+
+def _pool_worker_main(conn, worker_id, cost_model, config, cache_path, trace) -> None:
+    """Worker-process entry point: loop over tasks until told to stop.
+
+    One :class:`~repro.pipeline.ModuleOptimizer` lives for the whole worker —
+    its persistent cache, the process-wide intern table, and SymPy's memo
+    caches are the warm state the pool exists to preserve.  Mined rules are
+    cleared per task (the parent owns the rule cache, exactly as in the wave
+    driver), and the per-task config override carries the request budget.
+    """
+    tracer = None
+    if trace:
+        try:
+            tracer = Tracer(process=f"pool-worker:{worker_id}", sink=PipeSink(conn))
+            install_tracer(tracer)
+        except Exception:
+            tracer = None
+    cache = PersistentCache(cache_path) if cache_path is not None else None
+    optimizer = ModuleOptimizer(
+        cost_model=cost_model, config=config, rules=(), cache=cache
+    )
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if not isinstance(msg, tuple) or not msg or msg[0] != "task":
+            break  # ("stop",) or garbage: exit cleanly
+        _, task_id, spec, overrides, attempt, sync = msg
+        if cache is not None and sync:
+            cache.absorb(sync)
+        try:
+            # The fault site fires per (kernel, attempt) exactly as it did in
+            # the spawn-per-task driver, so existing plans keep their meaning.
+            inject("worker", key=spec.name, index=attempt, config=config)
+            optimizer.rules = []
+            optimizer.config = config.replace(**overrides) if overrides else config
+            outcome = optimizer.optimize_kernel(spec)
+            delta = cache.take_delta() if cache is not None else {}
+            if tracer is not None:
+                try:
+                    tracer.close_open_spans()
+                    tracer.flush()
+                except Exception:
+                    pass
+            conn.send(("done", task_id, "ok", (outcome, list(optimizer.rules), delta)))
+        except BaseException as exc:  # noqa: BLE001 — report, stay alive
+            try:
+                conn.send(("done", task_id, "error", f"{type(exc).__name__}: {exc}"))
+            except Exception:
+                break
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent synthesis workers.
+
+    ``cache`` (a :class:`~repro.synth.cache.PersistentCache` or directory
+    path) is shared by every worker: workers load it once at spawn, the
+    parent merges each task's delta back in and fans new entries out with
+    subsequent dispatches.  ``policy`` controls hard deadlines, crash retry,
+    and kill grace.  ``ctx`` selects the multiprocessing start method — the
+    parallel driver keeps the platform default (fork on Linux: cheap, no
+    threads in the CLI parent), while the daemon passes ``"spawn"`` because
+    it forks from a multi-threaded process.
+
+    The pool is deliberately not thread-safe: exactly one dispatcher thread
+    calls :meth:`submit` / :meth:`step`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        cost_model: CostModel | str = "flops",
+        config: SynthesisConfig | None = None,
+        cache=None,
+        policy: ResiliencePolicy | None = None,
+        trace: bool = False,
+        on_trace: Callable | None = None,
+        ctx: str | None = None,
+    ) -> None:
+        self.size = max(1, workers)
+        self.cost_model = (
+            make_cost_model(cost_model) if isinstance(cost_model, str) else cost_model
+        )
+        self.config = config or DEFAULT_CONFIG
+        self.cache = as_cache(cache)
+        self.policy = policy or ResiliencePolicy()
+        self.trace = trace
+        self.on_trace = on_trace
+        self._ctx = mp.get_context(ctx) if ctx else mp.get_context()
+        self._members: list[_Member] = []
+        self._queue: list[PoolTask] = []
+        self._tasks: dict[object, PoolTask] = {}
+        self._shared_log: list[tuple[str, str, object]] = []
+        self._seen_keys: set[tuple[str, str]] = set()
+        self._next_worker_id = 0
+        self.counters: dict[str, int] = {
+            "pool.spawned": 0,
+            "pool.tasks": 0,
+            "pool.completed": 0,
+            "pool.crash_retries": 0,
+            "pool.replacements": 0,
+            "pool.timeouts": 0,
+            "pool.sync_entries": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._members)
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks submitted but not yet terminal (queued + running)."""
+        return len(self._tasks)
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for m in self._members if m.proc.is_alive())
+
+    @property
+    def busy_workers(self) -> int:
+        return sum(1 for m in self._members if m.task is not None)
+
+    def start(self) -> None:
+        """Spawn the workers (idempotent).  Persists the cache first so every
+        worker loads the same warm disk state."""
+        if self._members:
+            return
+        if self.cache is not None:
+            self.cache.save()
+        for _ in range(self.size):
+            self._members.append(self._spawn())
+
+    def _spawn(self) -> _Member:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(
+                child_conn,
+                worker_id,
+                self.cost_model,
+                self.config,
+                self.cache.path if self.cache is not None else None,
+                self.trace,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self.counters["pool.spawned"] += 1
+        return _Member(worker_id, proc, parent_conn)
+
+    def _replace(self, member: _Member) -> None:
+        """Kill (if needed) and replace one member in place, keeping the pool
+        at full strength.  The fresh worker's watermark is 0, so its first
+        dispatch carries the whole shared delta log — no cold-cache loss."""
+        _stop_process(member.proc, self.policy.kill_grace_s)
+        try:
+            member.conn.close()
+        except Exception:
+            pass
+        fresh = self._spawn()
+        idx = self._members.index(member)
+        self._members[idx] = fresh
+        self.counters["pool.replacements"] += 1
+
+    def stop(self) -> None:
+        """Stop every worker: idle ones exit on ``("stop",)``, busy or stuck
+        ones are killed.  Pending queued tasks are dropped."""
+        for member in self._members:
+            if member.task is None and member.proc.is_alive():
+                try:
+                    member.conn.send(("stop",))
+                except Exception:
+                    pass
+        for member in self._members:
+            member.proc.join(self.policy.kill_grace_s)
+            if member.proc.is_alive():
+                _stop_process(member.proc, self.policy.kill_grace_s)
+            try:
+                member.conn.close()
+            except Exception:
+                pass
+        self._members.clear()
+        self._queue.clear()
+        self._tasks.clear()
+
+    def cancel_all(self) -> list[object]:
+        """Drop queued tasks and kill+replace members running one (interrupt
+        path).  Returns the cancelled task ids; the pool stays usable."""
+        cancelled = [t.id for t in self._queue]
+        self._queue.clear()
+        for member in list(self._members):
+            if member.task is not None:
+                cancelled.append(member.task.id)
+                member.task = None
+                member.hard_deadline = None
+                self._replace(member)
+        self._tasks.clear()
+        return cancelled
+
+    # -- dispatch --------------------------------------------------------------
+
+    def submit(
+        self,
+        task_id,
+        spec: KernelSpec,
+        timeout_s: float | None = None,
+        max_solver_calls: int | None = None,
+    ) -> PoolTask:
+        """Queue one kernel; budgets ride along as config overrides."""
+        if not self._members:
+            self.start()
+        overrides: dict = {}
+        effective = timeout_s if timeout_s is not None else self.policy.kernel_timeout_s
+        if effective is not None:
+            overrides["timeout_seconds"] = min(effective, self.config.timeout_seconds)
+        if max_solver_calls is not None:
+            overrides["max_solver_calls"] = max_solver_calls
+        task = PoolTask(
+            id=task_id,
+            spec=spec,
+            overrides=overrides,
+            effective_timeout=overrides.get(
+                "timeout_seconds", self.config.timeout_seconds
+            ),
+        )
+        self._tasks[task_id] = task
+        self._queue.append(task)
+        self.counters["pool.tasks"] += 1
+        return task
+
+    def _sync_payload(self, member: _Member) -> dict | None:
+        if self.cache is None or member.watermark >= len(self._shared_log):
+            return None
+        sync: dict = {}
+        for section, key, value in self._shared_log[member.watermark :]:
+            sync.setdefault(section, {})[key] = value
+            self.counters["pool.sync_entries"] += 1
+        member.watermark = len(self._shared_log)
+        return sync
+
+    def _dispatch(self, member: _Member, task: PoolTask) -> bool:
+        if not member.proc.is_alive():
+            self._replace(member)
+            return False  # retry on the fresh member next step
+        sync = self._sync_payload(member)
+        try:
+            member.conn.send(
+                ("task", task.id, task.spec, task.overrides, task.attempt, sync)
+            )
+        except (OSError, ValueError):
+            self._replace(member)
+            return False
+        member.task = task
+        hard = self.policy.hard_deadline_for(task.effective_timeout)
+        member.hard_deadline = time.monotonic() + hard if hard is not None else None
+        return True
+
+    def _absorb_delta(self, delta) -> None:
+        """Record a worker's new cache entries into the shared log + cache."""
+        if self.cache is None or not delta:
+            return
+        for section, entries in delta.items():
+            for key, value in entries.items():
+                if (section, key) not in self._seen_keys:
+                    self._seen_keys.add((section, key))
+                    self._shared_log.append((section, key, value))
+        self.cache.merge_delta(delta)
+
+    def _handle_trace(self, task: PoolTask | None, batch) -> None:
+        if self.on_trace is None or task is None:
+            return
+        try:
+            self.on_trace(task, batch)
+        except Exception:  # noqa: BLE001 — telemetry must never fail the pool
+            pass
+
+    # -- the scheduler tick ----------------------------------------------------
+
+    def step(self) -> list[PoolEvent]:
+        """One scheduler tick: dispatch ready tasks, drain pipes, enforce hard
+        deadlines, retry crashes.  Returns the terminal events produced."""
+        events: list[PoolEvent] = []
+        now = time.monotonic()
+        for member in self._members:
+            if member.task is not None or not self._queue:
+                continue
+            task = next((t for t in self._queue if t.ready_at <= now), None)
+            if task is None:
+                continue
+            self._queue.remove(task)
+            if not self._dispatch(member, task):
+                task.ready_at = 0.0
+                self._queue.insert(0, task)
+
+        for member in list(self._members):
+            if member.task is None:
+                continue
+            msg = _STILL_RUNNING
+            try:
+                while member.conn.poll(0):
+                    received = member.conn.recv()
+                    if (
+                        isinstance(received, tuple)
+                        and len(received) == 2
+                        and received[0] == "trace"
+                    ):
+                        self._handle_trace(member.task, received[1])
+                        continue
+                    msg = received
+                    break
+            except (EOFError, OSError):
+                msg = None  # died mid-send: crash
+            if msg is _STILL_RUNNING and not member.proc.is_alive():
+                msg = None  # died without reporting: crash
+            if msg is _STILL_RUNNING:
+                if (
+                    member.hard_deadline is not None
+                    and time.monotonic() > member.hard_deadline
+                ):
+                    task = member.task
+                    member.task = None
+                    self._replace(member)
+                    self.counters["pool.timeouts"] += 1
+                    self._tasks.pop(task.id, None)
+                    events.append(
+                        PoolEvent(
+                            "timeout",
+                            task.id,
+                            f"kernel exceeded its {task.effective_timeout:g}s "
+                            "deadline; worker killed",
+                            task,
+                        )
+                    )
+                continue
+            if msg is None:
+                # Crashed worker: replace it so the retry lands on a *live*
+                # worker immediately, with the shared delta log intact.
+                task = member.task
+                member.task = None
+                self._replace(member)
+                if task.attempt <= self.policy.max_retries:
+                    backoff = self.policy.retry_backoff_s * (2 ** (task.attempt - 1))
+                    task.attempt += 1
+                    task.ready_at = time.monotonic() + backoff
+                    self._queue.append(task)
+                    self.counters["pool.crash_retries"] += 1
+                else:
+                    self._tasks.pop(task.id, None)
+                    events.append(PoolEvent("crashed", task.id, None, task))
+                continue
+            # Terminal ("done", id, kind, payload) message.
+            task = member.task
+            member.task = None
+            member.hard_deadline = None
+            member.tasks_done += 1
+            self._tasks.pop(task.id, None)
+            self.counters["pool.completed"] += 1
+            _, _, kind, payload = msg
+            if kind == "ok":
+                self._absorb_delta(payload[2])
+                events.append(PoolEvent("ok", task.id, payload, task))
+            else:
+                events.append(PoolEvent("error", task.id, payload, task))
+        return events
+
+    def run_until_done(
+        self, task_ids: Sequence[object] | None = None, stop=None
+    ) -> dict[object, PoolEvent]:
+        """Convenience loop: step until the given tasks (default: all
+        outstanding) are terminal, or ``stop.requested()`` turns true."""
+        wanted = set(task_ids) if task_ids is not None else set(self._tasks)
+        done: dict[object, PoolEvent] = {}
+        while wanted - set(done):
+            if stop is not None and stop.requested():
+                self.cancel_all()
+                break
+            events = self.step()
+            for event in events:
+                if event.task_id in wanted:
+                    done[event.task_id] = event
+            if not events and wanted - set(done):
+                time.sleep(self.policy.poll_interval_s)
+        return done

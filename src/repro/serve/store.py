@@ -1,0 +1,94 @@
+"""Content-addressed result store: fleet-wide dedup of identical kernels.
+
+The daemon (and any concurrent client of the same state directory) addresses
+finished synthesis results by *what was asked*, not by request id:
+
+    key = sha1(synthesis_fingerprint || kernel_key(spec))
+
+``kernel_key`` covers the kernel's name, source, and input types;
+``synthesis_fingerprint`` covers every semantic knob of the synthesis config
+plus the cost model.  Two requests with the same key are the same problem —
+the second one is served from the store without touching a worker.
+
+Objects live under ``<root>/objects/<key[:2]>/<key>.json``, one
+checksum-framed JSON line per file (the :mod:`repro.journal` line codec), and
+are published with a tempfile + atomic rename so concurrent daemons sharing
+the directory never observe a torn object.  A corrupt or torn object reads as
+a miss, never an error.  Only ``status == "ok"`` outcomes are published:
+timeouts and degraded results must be retried, not memoized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.journal import decode_line, encode_line, kernel_key
+from repro.pipeline import KernelOutcome, KernelSpec
+
+
+def content_key(spec: KernelSpec, fingerprint: str) -> str:
+    """The store address of one (kernel, synthesis-configuration) problem."""
+    return hashlib.sha1(
+        f"{fingerprint}||{kernel_key(spec)}".encode()
+    ).hexdigest()
+
+
+class ContentStore:
+    """Durable, concurrency-safe map from content key to finished outcome."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> KernelOutcome | None:
+        """The stored outcome for ``key``, or None on miss/corruption."""
+        path = self._object_path(key)
+        try:
+            line = path.read_text().strip()
+        except OSError:
+            return None
+        payload = decode_line(line)
+        if payload is None or payload.get("key") != key:
+            return None
+        try:
+            return KernelOutcome(**payload["outcome"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, key: str, outcome: KernelOutcome) -> bool:
+        """Publish one finished outcome.  Returns False (and stores nothing)
+        for non-``ok`` outcomes or on any I/O failure — the store is an
+        accelerator, never a point of failure."""
+        if outcome.status != "ok":
+            return False
+        path = self._object_path(key)
+        line = encode_line({"key": key, "outcome": asdict(outcome)})
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(line + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))

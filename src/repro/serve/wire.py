@@ -1,0 +1,51 @@
+"""JSON-lines wire protocol shared by the daemon and its clients.
+
+Every message is one JSON object per ``\\n``-terminated line over a Unix
+domain socket.  Client requests carry an ``op``; daemon replies carry
+``ok: true`` plus op-specific fields, or ``ok: false`` with ``error``.
+
+Kernel specs cross the wire as plain JSON: each input is either a bare shape
+list (``[3, 3]`` — float tensor, the common case) or an object
+``{"dtype": "float", "shape": [3, 3]}`` for explicit dtypes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.pipeline import KernelSpec
+
+
+def send_msg(sock, payload: Mapping) -> None:
+    sock.sendall(json.dumps(payload).encode() + b"\n")
+
+
+def recv_msg(file) -> dict | None:
+    """Read one message from a socket makefile; None on clean EOF."""
+    line = file.readline()
+    if not line:
+        return None
+    return json.loads(line)
+
+
+def spec_to_payload(spec: KernelSpec) -> dict:
+    inputs = {}
+    for name, t in spec.inputs.items():
+        if hasattr(t, "dtype"):
+            inputs[name] = {"dtype": t.dtype.value, "shape": list(t.shape)}
+        else:
+            inputs[name] = list(t)
+    return {"name": spec.name, "source": spec.source, "inputs": inputs}
+
+
+def spec_from_payload(payload: Mapping) -> KernelSpec:
+    from repro.ir.types import DType, TensorType
+
+    inputs = {}
+    for name, t in payload["inputs"].items():
+        if isinstance(t, Mapping):
+            inputs[name] = TensorType(DType(t["dtype"]), tuple(t["shape"]))
+        else:
+            inputs[name] = tuple(t)
+    return KernelSpec(name=payload["name"], source=payload["source"], inputs=inputs)

@@ -305,6 +305,33 @@ class PersistentCache:
         """Entries added by this process since load (for worker merge-back)."""
         return {s: dict(d) for s, d in self._delta.items() if d}
 
+    def take_delta(self) -> dict[str, dict]:
+        """Like :meth:`delta`, but resets the delta tracker afterwards.
+
+        Long-lived pool workers (:mod:`repro.serve.pool`) ship one delta per
+        task; taking it keeps each shipment incremental instead of resending
+        the worker's whole history with every result.
+        """
+        out = self.delta()
+        self._delta = {s: {} for s in _SECTIONS}
+        return out
+
+    def absorb(self, delta: Mapping[str, Mapping]) -> None:
+        """Merge entries from elsewhere *without* claiming them as our own.
+
+        Unlike :meth:`merge_delta`, absorbed entries are neither added to this
+        process's delta nor marked dirty: they are already durable (or owned)
+        somewhere else.  Pool workers use this to ingest the parent's shared
+        delta log, so every worker sees its peers' discoveries without the
+        entries bouncing back over the result pipe.
+        """
+        for section, entries in (delta or {}).items():
+            if section not in _SECTIONS:
+                continue
+            store = self._load(section)
+            for key, value in entries.items():
+                store.setdefault(key, value)
+
     def merge_delta(self, delta: Mapping[str, Mapping]) -> None:
         """Merge a worker's delta into this cache (new keys win nothing: the
         first writer's entry is kept, keeping merges order-independent for
