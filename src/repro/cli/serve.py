@@ -11,11 +11,21 @@ Clients talk to the socket with :class:`~repro.serve.client.ServeClient`.
 The state directory is durable: kill the daemon, start it again on the same
 ``--state-dir``, and finished requests are re-served from the request log
 while pending ones resume — no re-solving of completed work.
+
+Production deployments wrap the daemon in the self-healing watchdog::
+
+    stenso-serve --state-dir results/serve --supervise
+
+which restarts a wedged daemon (missed heartbeat + failed health probe)
+on the same state dir, riding the journal's zero-re-solve guarantee.
+``stenso-serve --state-dir results/serve --health`` probes a running daemon
+and exits 0 (healthy) / 1 (unhealthy or unreachable) for external monitors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -62,6 +72,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="Default solver-call budget per kernel; requests can lower it.",
     )
     parser.add_argument(
+        "--queue-bound",
+        type=int,
+        default=None,
+        metavar="K",
+        help="Admission control: shed submissions once K requests are queued "
+        "(store hits and dedup followers always admitted; default unbounded).",
+    )
+    parser.add_argument(
+        "--max-inflight-per-client",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Shed a client's submissions beyond N concurrently live requests.",
+    )
+    parser.add_argument(
+        "--max-requests-per-worker",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Recycle a pool worker after N completed requests (lifecycle "
+        "hygiene for long soaks; warm state is preserved via the delta log).",
+    )
+    parser.add_argument(
+        "--worker-rss-limit-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="Recycle a pool worker whose RSS exceeds this high-watermark.",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="Dispatcher heartbeat period (the watchdog's liveness signal).",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="Run under the self-healing watchdog: the daemon becomes a "
+        "child process that is killed and restarted (same state dir, zero "
+        "re-solving) when its heartbeat stalls and the health probe fails.",
+    )
+    parser.add_argument(
+        "--watchdog-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="Heartbeat staleness bound before the supervisor intervenes.",
+    )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help="Probe a running daemon's health and exit 0 (healthy) or 1.",
+    )
+    parser.add_argument(
         "--faults",
         default=None,
         metavar="PLAN",
@@ -87,11 +153,90 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _child_argv(args: argparse.Namespace) -> list[str]:
+    """Re-serialize the parsed serving flags as the supervised child's
+    command line (everything except the watchdog-only flags)."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--state-dir",
+        str(args.state_dir),
+        "--workers",
+        str(args.workers),
+        "--cost_estimator",
+        args.cost_estimator,
+        "--timeout",
+        str(args.timeout),
+        "--heartbeat-interval",
+        str(args.heartbeat_interval),
+    ]
+    if args.socket is not None:
+        argv += ["--socket", str(args.socket)]
+    if args.budget is not None:
+        argv += ["--budget", str(args.budget)]
+    if args.queue_bound is not None:
+        argv += ["--queue-bound", str(args.queue_bound)]
+    if args.max_inflight_per_client is not None:
+        argv += ["--max-inflight-per-client", str(args.max_inflight_per_client)]
+    if args.max_requests_per_worker is not None:
+        argv += ["--max-requests-per-worker", str(args.max_requests_per_worker)]
+    if args.worker_rss_limit_mb is not None:
+        argv += ["--worker-rss-limit-mb", str(args.worker_rss_limit_mb)]
+    if args.faults:
+        argv += ["--faults", args.faults]
+    if args.trace:
+        argv.append("--trace")
+    if args.progress:
+        argv.append("--progress")
+    if args.log_json:
+        argv.append("--log-json")
+    return argv
+
+
+def _run_health_probe(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+
+    socket_path = args.socket if args.socket is not None else args.state_dir / "daemon.sock"
+    client = ServeClient(socket_path, retries=0)
+    try:
+        health = client.health()
+    except ServeError as exc:
+        print(json.dumps({"healthy": False, "error": str(exc)}))
+        return 1
+    print(json.dumps(health, sort_keys=True))
+    return 0 if health.get("healthy") else 1
+
+
+def _run_supervisor(args: argparse.Namespace) -> int:
+    from repro.serve.watchdog import Supervisor, SupervisorPolicy
+
+    policy = SupervisorPolicy(
+        heartbeat_timeout_s=args.watchdog_timeout,
+        poll_interval_s=min(0.5, max(0.05, args.watchdog_timeout / 4)),
+    )
+    supervisor = Supervisor(
+        args.state_dir,
+        _child_argv(args),
+        socket_path=args.socket,
+        policy=policy,
+    )
+    return supervisor.run()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.health:
+        return _run_health_probe(args)
+    if args.supervise:
+        return _run_supervisor(args)
+
     from repro.errors import StensoError
     from repro.obs.log import configure as configure_logging
+    from repro.resilience import ResiliencePolicy
     from repro.serve.daemon import SynthesisDaemon
     from repro.synth.config import SynthesisConfig
 
@@ -117,15 +262,23 @@ def main(argv: list[str] | None = None) -> int:
         max_solver_calls=args.budget,
         fault_plan=fault_plan,
     )
+    policy = ResiliencePolicy(
+        max_requests_per_worker=args.max_requests_per_worker,
+        worker_rss_limit_mb=args.worker_rss_limit_mb,
+    )
 
     daemon = SynthesisDaemon(
         args.state_dir,
         workers=args.workers,
         cost_model=args.cost_estimator,
         config=config,
+        policy=policy,
         socket_path=args.socket,
         trace=args.trace,
         progress=args.progress or None,
+        max_queue_depth=args.queue_bound,
+        max_inflight_per_client=args.max_inflight_per_client,
+        heartbeat_interval_s=args.heartbeat_interval,
     )
     try:
         daemon.start()

@@ -64,3 +64,21 @@ class JournalError(StensoError):
 class ServeError(StensoError):
     """A synthesis service operation failed (daemon unreachable, state dir
     locked by another daemon, request rejected, or a protocol error)."""
+
+
+class WireError(ServeError):
+    """A wire-protocol frame was malformed, truncated, or oversized.
+
+    Raised by :func:`repro.serve.wire.recv_msg`; the daemon answers it with a
+    structured ``{"ok": false, "error": ...}`` reply instead of letting a
+    garbage frame kill the connection thread."""
+
+
+class ShedError(ServeError):
+    """The daemon refused admission under overload (queue bound or per-client
+    cap).  ``retry_after_s`` is the daemon's estimate of when capacity frees
+    up — clients should back off at least that long before resubmitting."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

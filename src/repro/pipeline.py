@@ -70,7 +70,9 @@ class KernelOutcome:
     * ``timeout`` — the kernel's hard deadline was hit and its worker was
       killed; the original source is passed through unchanged;
     * ``error`` — synthesis raised; the original source is passed through
-      unchanged and ``error`` holds the message.
+      unchanged and ``error`` holds the message;
+    * ``shed`` — (serving only) the daemon dropped the request under
+      overload before synthesis ran; ``error`` carries the retry hint.
     """
 
     name: str

@@ -328,6 +328,17 @@ class ResiliencePolicy:
     poll_interval_s: float = 0.02
     """Parent scheduler poll interval."""
 
+    max_requests_per_worker: int | None = None
+    """Recycle a pool worker after it has completed this many tasks (None =
+    never).  Long-soak hygiene: SymPy caches, intern tables, and allocator
+    fragmentation grow monotonically inside a worker; recycling caps the
+    growth, and the replacement rejoins with the pool's full shared delta
+    log, so recycling costs no cache warmth."""
+
+    worker_rss_limit_mb: float | None = None
+    """Recycle a pool worker whose resident set exceeds this high-watermark
+    (MiB, read from ``/proc/<pid>/status``; None or non-Linux = never)."""
+
     def hard_deadline_for(self, timeout_s: float | None) -> float | None:
         if timeout_s is None:
             return None

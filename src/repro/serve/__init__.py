@@ -1,27 +1,36 @@
 """Synthesis-as-a-service: persistent warm worker pool + daemon + client.
 
 * :class:`~repro.serve.pool.WorkerPool` — persistent synthesis workers with
-  crash replacement and cache-delta fan-out (also drives the parallel batch
-  pipeline's waves).
+  crash replacement, lifecycle recycling, and cache-delta fan-out (also
+  drives the parallel batch pipeline's waves).
 * :class:`~repro.serve.daemon.SynthesisDaemon` — long-lived daemon with a
-  durable prioritized request queue over a Unix socket.
+  durable prioritized request queue over a Unix socket, admission control
+  under overload, and deadline propagation.
 * :class:`~repro.serve.client.ServeClient` — thin client API
-  (``submit`` / ``status`` / ``result`` / ``metrics`` / ``shutdown``).
+  (``submit`` / ``status`` / ``result`` / ``health`` / ``metrics`` /
+  ``shutdown``) with timeouts and jittered reconnect backoff.
 * :class:`~repro.serve.store.ContentStore` — content-addressed finished
-  results for fleet-wide dedup.
+  results for fleet-wide dedup, with checksum verification, quarantine of
+  corrupt entries, and a :class:`~repro.serve.store.CircuitBreaker`.
+* :class:`~repro.serve.watchdog.Supervisor` — self-healing watchdog that
+  restarts a wedged daemon from its request journal.
 """
 
 from repro.serve.client import ServeClient
 from repro.serve.daemon import ServeRequest, SynthesisDaemon
 from repro.serve.pool import PoolEvent, PoolTask, WorkerPool
-from repro.serve.store import ContentStore, content_key
+from repro.serve.store import CircuitBreaker, ContentStore, content_key
+from repro.serve.watchdog import Supervisor, SupervisorPolicy
 
 __all__ = [
+    "CircuitBreaker",
     "ContentStore",
     "PoolEvent",
     "PoolTask",
     "ServeClient",
     "ServeRequest",
+    "Supervisor",
+    "SupervisorPolicy",
     "SynthesisDaemon",
     "WorkerPool",
     "content_key",

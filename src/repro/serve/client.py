@@ -5,18 +5,36 @@ and connection setup is microseconds, so a connection-per-op keeps the
 client trivially safe to share across threads and robust to daemon
 restarts.  All failures surface as :class:`~repro.errors.ServeError`.
 
+Robustness under a dead or restarting daemon:
+
+* every socket carries a **connect timeout** and a per-operation read
+  timeout — a wedged daemon can no longer block a caller forever;
+* transport failures (connect refused, reset, reply lost) are retried with
+  **jittered exponential backoff** (``retries`` attempts), riding out the
+  window where a supervisor is restarting the daemon;
+* retried :meth:`submit` calls are **idempotent by construction**: the
+  daemon dedups by content-store key, so a resubmission whose original made
+  it through attaches to the in-flight request (or hits the store) instead
+  of triggering a second synthesis;
+* an overloaded daemon shedding the request raises
+  :class:`~repro.errors.ShedError` with the daemon's ``retry_after_s`` hint
+  — deliberately *not* retried here, because the whole point of admission
+  control is pushing backpressure to the caller.
+
     client = ServeClient(state_dir / "daemon.sock")
-    rid = client.submit(spec, priority=5)
+    rid = client.submit(spec, priority=5, deadline_s=30.0)
     outcome = client.result(rid, wait=True)
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+import uuid
 from pathlib import Path
 
-from repro.errors import ServeError
+from repro.errors import ServeError, ShedError
 from repro.pipeline import KernelOutcome, KernelSpec
 from repro.serve.wire import recv_msg, send_msg, spec_to_payload
 
@@ -24,30 +42,68 @@ from repro.serve.wire import recv_msg, send_msg, spec_to_payload
 class ServeClient:
     """Submit kernels to, and read results from, a local synthesis daemon."""
 
-    def __init__(self, socket_path: str | Path, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        socket_path: str | Path,
+        timeout_s: float = 30.0,
+        connect_timeout_s: float = 5.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.2,
+    ) -> None:
         self.socket_path = str(socket_path)
         self.timeout_s = timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.retries = max(0, retries)
+        self.retry_backoff_s = retry_backoff_s
+        #: Stable identity for the daemon's per-client in-flight caps.
+        self.client_id = uuid.uuid4().hex[:12]
 
-    def _call(self, payload: dict, timeout_s: float | None = None) -> dict:
+    def _roundtrip(self, payload: dict, timeout_s: float | None) -> dict:
+        """One connect/send/recv cycle.  Raises OSError on transport
+        failures (the retry loop's food) and ServeError on protocol ones."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(timeout_s if timeout_s is not None else self.timeout_s)
+            sock.settimeout(self.connect_timeout_s)
             sock.connect(self.socket_path)
-        except OSError as exc:
-            raise ServeError(
-                f"cannot reach daemon at {self.socket_path}: {exc}"
-            ) from exc
-        try:
+            sock.settimeout(timeout_s if timeout_s is not None else self.timeout_s)
             send_msg(sock, payload)
             with sock.makefile("r") as fh:
                 reply = recv_msg(fh)
-        except OSError as exc:
-            raise ServeError(f"daemon connection failed: {exc}") from exc
         finally:
             sock.close()
         if reply is None:
-            raise ServeError("daemon closed the connection without replying")
+            # The daemon died between accept and reply — a transport
+            # failure, retriable like a refused connect.
+            raise ConnectionResetError("daemon closed the connection without replying")
+        return reply
+
+    def _call(
+        self, payload: dict, timeout_s: float | None = None, retryable: bool = True
+    ) -> dict:
+        delay = self.retry_backoff_s
+        attempts = self.retries + 1 if retryable else 1
+        reply = None
+        for attempt in range(attempts):
+            try:
+                reply = self._roundtrip(payload, timeout_s)
+                break
+            except ServeError as exc:
+                raise ServeError(f"daemon protocol error: {exc}") from exc
+            except OSError as exc:
+                if attempt + 1 >= attempts:
+                    raise ServeError(
+                        f"cannot reach daemon at {self.socket_path}: {exc}"
+                    ) from exc
+                # Jittered exponential backoff: ride out a supervisor
+                # restart without stampeding the fresh daemon.
+                time.sleep(delay * (0.5 + random.random()))
+                delay *= 2
         if not reply.get("ok"):
+            if reply.get("shed"):
+                raise ShedError(
+                    reply.get("error", "request shed under overload"),
+                    retry_after_s=float(reply.get("retry_after", 1.0)),
+                )
             raise ServeError(reply.get("error", "request rejected"))
         return reply
 
@@ -55,10 +111,21 @@ class ServeClient:
 
     def ping(self) -> bool:
         try:
-            self._call({"op": "ping"}, timeout_s=2.0)
+            self._call({"op": "ping"}, timeout_s=2.0, retryable=False)
             return True
         except ServeError:
             return False
+
+    def health(self, timeout_s: float = 5.0) -> dict:
+        """The daemon's self-reported health: ``healthy`` plus the raw
+        signals (``dispatcher_age_s``, ``queued``, ``pool_alive``,
+        ``shedding``).  Unlike :meth:`ping`, this sees a *wedged* daemon —
+        one whose dispatcher loop stopped ticking while its connection
+        threads still answer.  Raises :class:`ServeError` when unreachable.
+        """
+        reply = self._call({"op": "health"}, timeout_s=timeout_s, retryable=False)
+        reply.pop("ok", None)
+        return reply
 
     def wait_ready(self, timeout_s: float = 20.0) -> None:
         """Block until the daemon answers pings (daemon started as a
@@ -76,17 +143,28 @@ class ServeClient:
         priority: int = 0,
         timeout_s: float | None = None,
         max_solver_calls: int | None = None,
+        deadline_s: float | None = None,
     ) -> str:
-        """Durably enqueue one kernel; returns its request id."""
+        """Durably enqueue one kernel; returns its request id.
+
+        ``deadline_s`` bounds the request's whole life from the daemon's
+        point of receipt: expired-in-queue requests are shed before dispatch,
+        and a dispatched worker gets only the remaining time as its budget.
+        Raises :class:`ShedError` (with ``retry_after_s``) when the daemon
+        refuses admission under overload.
+        """
         payload = {
             "op": "submit",
             "spec": spec_to_payload(spec),
             "priority": priority,
+            "client": self.client_id,
         }
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
         if max_solver_calls is not None:
             payload["max_solver_calls"] = max_solver_calls
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
         return self._call(payload)["id"]
 
     def status(self, request_id: str | None = None) -> dict:
@@ -118,4 +196,4 @@ class ServeClient:
 
     def shutdown(self, drain: bool = True) -> None:
         """Stop the daemon; ``drain=True`` finishes queued work first."""
-        self._call({"op": "shutdown", "drain": drain}, timeout_s=None)
+        self._call({"op": "shutdown", "drain": drain}, timeout_s=None, retryable=False)

@@ -28,7 +28,19 @@ State directory layout::
     <state_dir>/daemon.sock      Unix socket (clients)
     <state_dir>/requests.jsonl   durable request/result log
     <state_dir>/store/           content-addressed results + shared cache
+    <state_dir>/store/quarantine corrupt store objects, moved aside on read
+    <state_dir>/heartbeat        dispatcher liveness beat (watchdog input)
     <state_dir>/metrics.json     metrics snapshot (final at shutdown)
+
+Overload behavior: with ``max_queue_depth`` set, a submission that would
+grow the queue past the bound is **shed** with a structured
+``{"shed": true, "retry_after": ...}`` reply (lowest-priority-first: a
+higher-priority arrival instead evicts the lowest-priority queued request,
+which completes with status ``shed``).  Content-store hits and in-flight
+dedup followers are always admitted.  Client-supplied deadlines
+(``deadline_s``) are enforced both in the queue (expired entries are shed
+before dispatch) and at dispatch (the worker budget gets only the remaining
+time).
 
 Threading model: one accept thread plus one short-lived thread per client
 connection mutate daemon state only under ``self._lock``; the dispatcher
@@ -48,7 +60,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from repro.errors import ServeError
+from repro.errors import ServeError, WireError
 from repro.journal import encode_line, kernel_key, read_entries
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressBoard
@@ -56,7 +68,7 @@ from repro.obs.trace import get_tracer
 from repro.pipeline import KernelOutcome, KernelSpec, ModuleOptimizer
 from repro.resilience import FileLock, ResiliencePolicy, inject
 from repro.serve.pool import WorkerPool
-from repro.serve.store import ContentStore, content_key
+from repro.serve.store import CircuitBreaker, ContentStore, content_key
 from repro.serve.wire import recv_msg, send_msg, spec_from_payload, spec_to_payload
 from repro.synth.cache import PersistentCache, synthesis_fingerprint
 from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
@@ -80,6 +92,16 @@ class ServeRequest:
     followers: list["ServeRequest"] = field(default_factory=list)
     content_key: str = ""
     submitted_at: float = 0.0
+    #: Submitting client's identity (for per-client in-flight caps); None for
+    #: requests restored from the log — their clients are likely gone.
+    client: str | None = None
+    #: Client-supplied deadline as a monotonic timestamp; a queued request
+    #: whose deadline passes is shed before dispatch, and a dispatched one
+    #: hands only its *remaining* time to the worker's cooperative budget.
+    deadline: float | None = None
+    #: The same deadline on the wall clock, for the durable request log
+    #: (monotonic clocks do not survive a restart).
+    deadline_unix: float | None = None
 
 
 class RequestLog:
@@ -154,6 +176,7 @@ class RequestLog:
                     "priority": req.priority,
                     "timeout_s": req.timeout_s,
                     "max_solver_calls": req.max_solver_calls,
+                    "deadline_unix": req.deadline_unix,
                 }
             )
         )
@@ -197,6 +220,11 @@ class SynthesisDaemon:
         socket_path: str | Path | None = None,
         trace: bool = False,
         progress: bool | None = False,
+        max_queue_depth: int | None = None,
+        max_inflight_per_client: int | None = None,
+        heartbeat_interval_s: float = 1.0,
+        conn_read_timeout_s: float = 60.0,
+        store_breaker: CircuitBreaker | None = None,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -205,8 +233,21 @@ class SynthesisDaemon:
         self.socket_path = Path(
             socket_path if socket_path is not None else self.state_dir / "daemon.sock"
         )
+        #: Admission control: queued (not running) leaders beyond this depth
+        #: are shed with a ``retry_after`` hint; None = unbounded (the PR 6
+        #: behavior).  Content-store hits and in-flight-dedup followers are
+        #: always admitted — they cost no worker time.
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_client = max_inflight_per_client
+        self.heartbeat_interval_s = max(0.05, heartbeat_interval_s)
+        self.conn_read_timeout_s = conn_read_timeout_s
+        self.heartbeat_path = self.state_dir / "heartbeat"
         self.metrics = MetricsRegistry()
-        self.store = ContentStore(self.state_dir / "store")
+        self.store = ContentStore(
+            self.state_dir / "store",
+            breaker=store_breaker if store_breaker is not None else CircuitBreaker(),
+            on_event=self._on_store_event,
+        )
         self._cache = PersistentCache(self.state_dir / "store" / "cache")
         # The daemon's own optimizer: rule-cache fast path, restored-outcome
         # re-verification, and structured failure outcomes.  It never runs a
@@ -236,9 +277,13 @@ class SynthesisDaemon:
         self._done_cond = threading.Condition(self._lock)
         self._requests: dict[str, ServeRequest] = {}
         self._heap: list[tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._queued_ids: set[str] = set()  # leaders awaiting dispatch
         self._inflight: dict[str, str] = {}  # content key -> leader request id
+        self._client_inflight: dict[str, int] = {}  # client id -> live requests
         self._unimproved: dict[str, str] = {}  # batch key -> request id
         self._seq = 0
+        self._last_tick = 0.0  # dispatcher liveness (monotonic)
+        self._last_beat = 0.0
         self._stop = threading.Event()
         self._drain = True
         self._daemon_lock: FileLock | None = None
@@ -264,9 +309,39 @@ class SynthesisDaemon:
             self.log.open()
             self.pool.start()
             self._bind()
+            self._beat(force=True)
         except BaseException:
             self._release_lock()
             raise
+
+    def _on_store_event(self, name: str) -> None:
+        """Store health events → metrics (quarantined / breaker transitions)."""
+        self.metrics.counter(f"serve.store_{name}").inc()
+
+    def _beat(self, force: bool = False) -> None:
+        """Refresh the heartbeat file the supervisor watchdog watches.
+
+        Written by the dispatcher loop, so a wedged dispatcher — stalled
+        event loop, a journal fsync stuck under ``self._lock``, a deadlock —
+        stops the beat even while connection threads still answer pings.
+        Atomic rename: the supervisor never reads a torn beat.
+        """
+        now = time.monotonic()
+        if not force and now - self._last_beat < self.heartbeat_interval_s:
+            return
+        self._last_beat = now
+        payload = {
+            "pid": os.getpid(),
+            "time": time.time(),
+            "queued": len(self._queued_ids),
+            "outstanding": self.pool.outstanding if self.pool.started else 0,
+        }
+        tmp = self.heartbeat_path.with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(payload) + "\n")
+            os.replace(tmp, self.heartbeat_path)
+        except OSError:
+            pass  # the health probe is the watchdog's second signal
 
     def _release_lock(self) -> None:
         if self._daemon_lock is not None:
@@ -298,6 +373,12 @@ class SynthesisDaemon:
         restored = pending = 0
         for entry in request_entries:
             spec = spec_from_payload(entry["spec"])
+            deadline_unix = entry.get("deadline_unix")
+            deadline = None
+            if deadline_unix is not None:
+                # Remaining wall time, rebased onto this process's monotonic
+                # clock; an already-expired deadline is shed before dispatch.
+                deadline = time.monotonic() + (deadline_unix - time.time())
             req = ServeRequest(
                 id=entry["id"],
                 spec=spec,
@@ -305,6 +386,8 @@ class SynthesisDaemon:
                 timeout_s=entry.get("timeout_s"),
                 max_solver_calls=entry.get("max_solver_calls"),
                 content_key=content_key(spec, self.fingerprint),
+                deadline=deadline,
+                deadline_unix=deadline_unix,
             )
             # Keep new ids monotonic past every restored one.
             try:
@@ -346,6 +429,7 @@ class SynthesisDaemon:
         self._inflight[req.content_key] = req.id
         self._seq += 1
         heapq.heappush(self._heap, (-req.priority, self._seq, req.id))
+        self._queued_ids.add(req.id)
 
     # -- socket plumbing -------------------------------------------------------
 
@@ -362,8 +446,17 @@ class SynthesisDaemon:
 
     def _serve_conn(self, conn: socket.socket) -> None:
         try:
-            with conn.makefile("r") as fh:
-                msg = recv_msg(fh)
+            # Bound how long one connection may dribble a frame in: a
+            # slow-loris peer times out and is dropped instead of pinning a
+            # connection thread (and its makefile buffer) forever.
+            conn.settimeout(self.conn_read_timeout_s)
+            try:
+                with conn.makefile("r") as fh:
+                    msg = recv_msg(fh)
+            except WireError as exc:
+                self.metrics.counter("serve.protocol_errors").inc()
+                send_msg(conn, {"ok": False, "error": f"protocol: {exc}"})
+                return
             if msg is None:
                 return
             try:
@@ -387,6 +480,8 @@ class SynthesisDaemon:
         op = msg.get("op")
         if op == "ping":
             return {"ok": True, "pid": os.getpid()}
+        if op == "health":
+            return self._op_health()
         if op == "submit":
             return self._op_submit(msg)
         if op == "status":
@@ -403,20 +498,132 @@ class SynthesisDaemon:
             return {"ok": True, "drain": self._drain}
         raise ServeError(f"unknown op: {op!r}")
 
+    def _retry_after_estimate(self) -> float:
+        """How long a shed client should wait: the queue's expected drain
+        time under the observed mean service latency (bounded to [0.5, 120]s,
+        2 s per request when no request has finished yet)."""
+        hist = self.metrics._histograms.get("serve.request_seconds")
+        mean_s = hist.mean if hist is not None and hist.count else 2.0
+        depth = len(self._queued_ids) + (
+            self.pool.outstanding if self.pool.started else 0
+        )
+        return round(min(120.0, max(0.5, mean_s * depth / max(1, self.pool.size))), 3)
+
+    def _shed_reply(self, reason: str, counter: str) -> dict:
+        retry_after = self._retry_after_estimate()
+        self.metrics.counter(counter).inc()
+        self.metrics.counter("serve.shed").inc()
+        return {
+            "ok": False,
+            "shed": True,
+            "retry_after": retry_after,
+            "error": f"{reason}; retry after {retry_after:g}s",
+        }
+
+    def _lowest_priority_queued(self) -> ServeRequest | None:
+        """The shed-policy victim: the lowest-priority (latest-submitted on
+        ties) request still waiting for dispatch."""
+        worst_key = None
+        worst = None
+        for key in self._heap:
+            rid = key[2]
+            if rid not in self._queued_ids:
+                continue  # stale heap entry (already dispatched/evicted)
+            req = self._requests.get(rid)
+            if req is None or req.state != "queued":
+                continue
+            if worst_key is None or key > worst_key:
+                worst_key, worst = key, req
+        return worst
+
+    def _admit(self, msg: dict, priority: int, client: str | None) -> dict | None:
+        """Admission control (lock held): None to admit, or the structured
+        shed reply.  Runs only for requests that need a worker — store hits
+        and in-flight followers are always admitted."""
+        cap = self.max_inflight_per_client
+        if cap is not None and client is not None:
+            if self._client_inflight.get(client, 0) >= cap:
+                return self._shed_reply(
+                    f"client {client} already has {cap} request(s) in flight",
+                    "serve.shed_client_cap",
+                )
+        bound = self.max_queue_depth
+        if bound is not None and len(self._queued_ids) >= bound:
+            victim = self._lowest_priority_queued()
+            if victim is not None and priority > victim.priority:
+                # Evict the lowest-priority queued request in favor of the
+                # higher-priority arrival; the victim gets a terminal 'shed'
+                # outcome (with the retry hint in its error) so its waiters
+                # unblock instead of hanging.
+                retry_after = self._retry_after_estimate()
+                self._queued_ids.discard(victim.id)
+                self._complete(
+                    victim,
+                    self._opt.failed_outcome(
+                        victim.spec,
+                        "shed",
+                        "evicted by a higher-priority arrival under overload; "
+                        f"retry after {retry_after:g}s",
+                    ),
+                    served_from="shed",
+                )
+                self.metrics.counter("serve.shed_evicted").inc()
+                self.metrics.counter("serve.shed").inc()
+                return None
+            return self._shed_reply(
+                f"queue is at its {bound}-request bound", "serve.shed_queue_full"
+            )
+        return None
+
     def _op_submit(self, msg: dict) -> dict:
         if self._stop.is_set():
             raise ServeError("daemon is shutting down; submission refused")
         spec = spec_from_payload(msg["spec"])
+        priority = int(msg.get("priority", 0))
+        client = msg.get("client")
+        deadline_s = msg.get("deadline_s")
         with self._lock:
+            ckey = content_key(spec, self.fingerprint)
+
+            # Fleet-wide dedup, cheapest first: a finished identical kernel in
+            # the content store, else an identical in-flight one.  Both are
+            # admitted even under overload — they cost no worker time.
+            served_from = None
+            stored = self.store.get(ckey)
+            if stored is not None:
+                if not stored.improved or self._opt._reverify_restored(spec, stored):
+                    served_from = "store"
+                else:
+                    # Decodes cleanly but no longer verifies: semantically
+                    # corrupt.  Quarantine it and re-synthesize.
+                    self.store.quarantine(ckey)
+                    stored = None
+            leader_id = self._inflight.get(ckey)
+            follows = (
+                leader_id is not None
+                and (leader := self._requests.get(leader_id)) is not None
+                and leader.state != "done"
+            )
+            if served_from is None and not follows:
+                shed = self._admit(msg, priority, client)
+                if shed is not None:
+                    return shed
+
             self._seq += 1
+            now = time.monotonic()
             req = ServeRequest(
                 id=f"r{self._seq:05d}",
                 spec=spec,
-                priority=int(msg.get("priority", 0)),
+                priority=priority,
                 timeout_s=msg.get("timeout_s"),
                 max_solver_calls=msg.get("max_solver_calls"),
-                content_key=content_key(spec, self.fingerprint),
-                submitted_at=time.monotonic(),
+                content_key=ckey,
+                submitted_at=now,
+                client=client,
+                deadline=now + deadline_s if deadline_s is not None else None,
+                deadline_unix=(
+                    time.time() + deadline_s if deadline_s is not None else None
+                ),
             )
             # Durability before acknowledgement: once the client holds the
             # id, a daemon kill cannot lose the request.
@@ -425,18 +632,45 @@ class SynthesisDaemon:
             self.metrics.counter("serve.submitted").inc()
             self.board.grow(1)
 
-            # Fleet-wide dedup, cheapest first: finished identical kernel in
-            # the content store, else attach to an identical in-flight one.
-            stored = self.store.get(req.content_key)
-            if stored is not None and (
-                not stored.improved
-                or self._opt._reverify_restored(spec, stored)
-            ):
+            if served_from == "store":
                 self.metrics.counter("serve.store_hits").inc()
                 self._complete(req, stored, served_from="store")
             else:
+                if client is not None:
+                    self._client_inflight[client] = (
+                        self._client_inflight.get(client, 0) + 1
+                    )
                 self._enqueue(req)
             return {"ok": True, "id": req.id}
+
+    def _op_health(self) -> dict:
+        """Liveness of the parts a ping cannot see.
+
+        Answered on a connection thread *without* taking the daemon lock, so
+        it stays answerable while the dispatcher is wedged on a stuck fsync —
+        ``dispatcher_age_s`` is exactly how the watchdog notices that case.
+        """
+        now = time.monotonic()
+        age = now - self._last_tick if self._last_tick else None
+        stall_bound = max(5.0, 5 * self.heartbeat_interval_s)
+        healthy = (
+            not self._stop.is_set()
+            and age is not None
+            and age < stall_bound
+            and (not self.pool.started or self.pool.alive_workers > 0)
+        )
+        return {
+            "ok": True,
+            "healthy": healthy,
+            "pid": os.getpid(),
+            "dispatcher_age_s": age,
+            "queued": len(self._queued_ids),
+            "pool_alive": self.pool.alive_workers if self.pool.started else 0,
+            "shedding": (
+                self.max_queue_depth is not None
+                and len(self._queued_ids) >= self.max_queue_depth
+            ),
+        }
 
     def _op_status(self, msg: dict) -> dict:
         rid = msg.get("id")
@@ -456,7 +690,7 @@ class SynthesisDaemon:
             return {
                 "ok": True,
                 "requests": by_state,
-                "queued": len(self._heap),
+                "queued": len(self._queued_ids),
                 "pool": {
                     "workers": self.pool.size,
                     "alive": self.pool.alive_workers,
@@ -499,6 +733,8 @@ class SynthesisDaemon:
         req.state = "done"
         req.outcome = outcome
         req.served_from = served_from
+        self._queued_ids.discard(req.id)
+        self._release_client(req)
         self.log.record_result(req)
         if self._inflight.get(req.content_key) == req.id:
             del self._inflight[req.content_key]
@@ -516,12 +752,23 @@ class SynthesisDaemon:
             follower.state = "done"
             follower.outcome = outcome
             follower.served_from = "dedup"
+            self._release_client(follower)
             self.log.record_result(follower)
             self.metrics.counter("serve.completed").inc()
             self.metrics.counter("serve.served_from.dedup").inc()
             self.board.finish(follower.spec.name, outcome.status)
         req.followers = []
         self._done_cond.notify_all()
+
+    def _release_client(self, req: ServeRequest) -> None:
+        """Return one slot of the submitting client's in-flight allowance."""
+        if req.client is None:
+            return
+        left = self._client_inflight.get(req.client, 0) - 1
+        if left > 0:
+            self._client_inflight[req.client] = left
+        else:
+            self._client_inflight.pop(req.client, None)
 
     def _on_trace(self, task, batch) -> None:
         """Forwarded worker trace events → parent tracer + progress board."""
@@ -571,13 +818,31 @@ class SynthesisDaemon:
             self.metrics.counter("serve.pattern_hits").inc()
             self._complete(req, outcome, served_from="pattern")
             return
+        # Deadline propagation, dispatch side: the worker's cooperative
+        # Budget gets only the time the caller still has, not the request's
+        # nominal timeout — queue wait is not free solver time.
+        timeout_s = req.timeout_s
+        if req.deadline is not None:
+            remaining = req.deadline - time.monotonic()
+            if remaining <= 0:
+                self._queued_ids.discard(req.id)
+                self._complete(
+                    req,
+                    self._opt.failed_outcome(
+                        req.spec, "timeout", "deadline expired before dispatch"
+                    ),
+                    served_from="deadline",
+                )
+                self.metrics.counter("serve.deadline_expired").inc()
+                return
+            timeout_s = remaining if timeout_s is None else min(timeout_s, remaining)
         req.state = "running"
         self.board.start(req.spec.name)
         self.metrics.counter("serve.dispatched").inc()
         self.pool.submit(
             req.id,
             req.spec,
-            timeout_s=req.timeout_s,
+            timeout_s=timeout_s,
             max_solver_calls=req.max_solver_calls,
         )
 
@@ -626,11 +891,14 @@ class SynthesisDaemon:
 
         with InterruptGuard() as guard:
             while True:
+                self._last_tick = time.monotonic()
+                self._beat()
                 if guard.requested():
                     self._drain = False
                     self._stop.set()
                 if self._stop.is_set() and (not self._drain or self._idle()):
                     break
+                self._shed_expired()
                 dispatched = self._fill_pool()
                 events = self.pool.step() if self.pool.started else []
                 for event in events:
@@ -640,6 +908,37 @@ class SynthesisDaemon:
                 if not events and not dispatched:
                     time.sleep(self.policy.poll_interval_s)
         self.close()
+
+    def _shed_expired(self) -> None:
+        """Deadline propagation, queue side: complete every queued request
+        whose client-supplied deadline has already passed — a slow queue must
+        never burn solver time on a request whose caller is gone."""
+        now = time.monotonic()
+        expired = []
+        with self._lock:
+            for rid in self._queued_ids:
+                req = self._requests.get(rid)
+                if (
+                    req is not None
+                    and req.state == "queued"
+                    and req.deadline is not None
+                    and now > req.deadline
+                ):
+                    expired.append(req)
+            for req in expired:
+                self._queued_ids.discard(req.id)
+                waited = now - req.submitted_at if req.submitted_at else 0.0
+                self._complete(
+                    req,
+                    self._opt.failed_outcome(
+                        req.spec,
+                        "timeout",
+                        f"deadline expired after {waited:.2f}s in queue, "
+                        "before dispatch",
+                    ),
+                    served_from="deadline",
+                )
+                self.metrics.counter("serve.deadline_expired").inc()
 
     def _idle(self) -> bool:
         with self._lock:
@@ -659,6 +958,7 @@ class SynthesisDaemon:
                 req = self._requests.get(rid)
                 if req is None or req.state != "queued":
                     continue
+                self._queued_ids.discard(rid)
                 self._dispatch_one(req)
                 if req.state == "running":
                     n += 1

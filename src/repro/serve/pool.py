@@ -21,7 +21,13 @@ server, FlexTensor's persistent explorer) do:
   *entire* shared delta log, so a crash never costs the pool its warm state;
 * a worker that **hangs** past its task's hard deadline is killed and
   replaced, and the task reported ``timeout`` — identical semantics to the
-  old per-wave driver, minus the respawn tax for everyone else.
+  old per-wave driver, minus the respawn tax for everyone else;
+* a worker that has completed ``max_requests_per_worker`` tasks or grown
+  past the ``worker_rss_limit_mb`` high-watermark is **recycled** between
+  tasks (lifecycle hygiene for long soaks: SymPy caches and allocator
+  fragmentation grow without bound otherwise) — the replacement's first
+  dispatch carries the full shared delta log, so recycling costs no cache
+  warmth (``pool.recycled`` counters track it).
 
 Protocol over each worker's duplex pipe::
 
@@ -97,6 +103,19 @@ class _Member:
     #: Position in the shared delta log already shipped to this worker.
     watermark: int = 0
     tasks_done: int = 0
+
+
+def worker_rss_mb(pid: int) -> float | None:
+    """Resident set size of one process in MiB (Linux ``/proc``; None when
+    unreadable — non-Linux hosts simply never trip the RSS watermark)."""
+    try:
+        with open(f"/proc/{pid}/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
 
 
 def _stop_process(proc, grace_s: float) -> None:
@@ -218,6 +237,9 @@ class WorkerPool:
             "pool.replacements": 0,
             "pool.timeouts": 0,
             "pool.sync_entries": 0,
+            "pool.recycled": 0,
+            "pool.recycled_requests": 0,
+            "pool.recycled_rss": 0,
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -270,7 +292,7 @@ class WorkerPool:
         self.counters["pool.spawned"] += 1
         return _Member(worker_id, proc, parent_conn)
 
-    def _replace(self, member: _Member) -> None:
+    def _replace(self, member: _Member, counter: str = "pool.replacements") -> None:
         """Kill (if needed) and replace one member in place, keeping the pool
         at full strength.  The fresh worker's watermark is 0, so its first
         dispatch carries the whole shared delta log — no cold-cache loss."""
@@ -282,7 +304,30 @@ class WorkerPool:
         fresh = self._spawn()
         idx = self._members.index(member)
         self._members[idx] = fresh
-        self.counters["pool.replacements"] += 1
+        self.counters[counter] += 1
+
+    def _recycle_reason(self, member: _Member) -> str | None:
+        """Why an idle member should be proactively recycled, or None."""
+        limit = self.policy.max_requests_per_worker
+        if limit is not None and member.tasks_done >= limit:
+            return "requests"
+        rss_limit = self.policy.worker_rss_limit_mb
+        if rss_limit is not None:
+            rss = worker_rss_mb(member.proc.pid)
+            if rss is not None and rss > rss_limit:
+                return "rss"
+        return None
+
+    def _recycle(self, member: _Member, reason: str) -> None:
+        """Retire one *idle* member and replace it in place.  The replacement
+        starts with watermark 0, so its first dispatch ships the entire
+        shared delta log — lifecycle hygiene costs no cache warmth."""
+        try:  # ask nicely first; _replace escalates to SIGTERM/SIGKILL
+            member.conn.send(("stop",))
+        except Exception:
+            pass
+        self._replace(member, counter="pool.recycled")
+        self.counters[f"pool.recycled_{reason}"] += 1
 
     def stop(self) -> None:
         """Stop every worker: idle ones exit on ``("stop",)``, busy or stuck
@@ -483,6 +528,9 @@ class WorkerPool:
                 events.append(PoolEvent("ok", task.id, payload, task))
             else:
                 events.append(PoolEvent("error", task.id, payload, task))
+            reason = self._recycle_reason(member)
+            if reason is not None:
+                self._recycle(member, reason)
         return events
 
     def run_until_done(

@@ -1,33 +1,40 @@
-"""Soak test for the synthesis daemon: mixed priorities + injected faults.
+"""Soak tests for the synthesis daemon: faults, overload, chaos.
 
-50 requests drawn from a small set of normalized patterns are pushed through
-a 2-worker daemon while a fault plan fires at the ``solver``, ``worker``,
-and ``journal`` sites.  The service-grade invariant: every request reaches a
-terminal state (``ok | degraded | timeout | error``), the queue drains, no
-worker is left hung, and the daemon stays responsive afterwards.
+The plain soak pushes 50 requests drawn from a small set of normalized
+patterns through a 2-worker daemon while a fault plan fires at the
+``solver``, ``worker``, and ``journal`` sites.  The chaos profile adds the
+overload dimension: a burst 3x over the admission bound, client deadlines
+that expire in the queue, a SIGSTOP'd pool worker, corrupted content-store
+entries, and aggressive worker recycling — all at once.  The service-grade
+invariant either way: every accepted request reaches a terminal state
+(``ok | degraded | timeout | error | shed``), every shed submission carries
+a ``retry_after`` hint, the queue drains, no worker is left hung, and the
+daemon answers health probes afterwards.
 
 Marked ``slow``: runs only with ``-m slow`` (see pyproject addopts).
 """
 
 import os
+import signal
 import tempfile
 import threading
+import time
 from collections import Counter
 from contextlib import contextmanager
 
 import pytest
 
-from repro.errors import ServeError
+from repro.errors import ServeError, ShedError
 from repro.pipeline import KernelSpec
 from repro.resilience import FaultPlan, ResiliencePolicy
-from repro.serve import ServeClient, SynthesisDaemon
+from repro.serve import ServeClient, SynthesisDaemon, content_key
 from repro.synth.config import SynthesisConfig
 
 pytestmark = pytest.mark.slow
 
 
 @contextmanager
-def serve(tmp_path, workers=2, config=None, policy=None):
+def serve(tmp_path, workers=2, config=None, policy=None, **daemon_kwargs):
     # Short /tmp socket path: AF_UNIX caps paths around 108 bytes.
     socket_path = os.path.join(tempfile.mkdtemp(prefix="stso", dir="/tmp"), "s.sock")
     daemon = SynthesisDaemon(
@@ -36,6 +43,7 @@ def serve(tmp_path, workers=2, config=None, policy=None):
         config=config,
         policy=policy,
         socket_path=socket_path,
+        **daemon_kwargs,
     )
     daemon.start()
     thread = threading.Thread(target=daemon.serve_forever, daemon=True)
@@ -76,7 +84,7 @@ N_REQUESTS = 50
 #: result-log write of one completed kernel.
 FAULTS = "worker[exp_log_0]:die@1;solver[diag_dot_4]:raise;journal[log_exp_7]:corrupt"
 
-TERMINAL = {"ok", "degraded", "timeout", "error"}
+TERMINAL = {"ok", "degraded", "timeout", "error", "shed"}
 
 
 def _batch() -> list[KernelSpec]:
@@ -136,3 +144,121 @@ def test_soak_mixed_priorities_with_faults(tmp_path):
         assert client.ping()
         extra = client.submit(KernelSpec("post_soak", "np.exp(np.log(Z))", {"Z": (2, 2)}))
         assert client.result(extra, wait=True, timeout_s=300).status in TERMINAL
+
+
+# ---------------------------------------------------------------------------
+# Chaos profile: overload + wedged worker + corruption, simultaneously
+# ---------------------------------------------------------------------------
+
+QUEUE_BOUND = 6
+N_CHAOS = 3 * QUEUE_BOUND
+
+CHAOS_FAULTS = (
+    "worker[chaos_exp_log_0]:die@1;"
+    "solver[chaos_diag_dot_4]:raise;"
+    "journal[chaos_log_exp_1]:corrupt"
+)
+
+
+def test_chaos_overload_profile(tmp_path):
+    config = FAST.replace(fault_plan=FaultPlan.parse(CHAOS_FAULTS))
+    policy = ResiliencePolicy(
+        retry_backoff_s=0.05,
+        max_retries=1,
+        kernel_timeout_s=10,  # bounds how long a SIGSTOP'd worker wedges a task
+        max_requests_per_worker=2,  # aggressive lifecycle hygiene under load
+    )
+    with serve(
+        tmp_path, workers=2, config=config, policy=policy, max_queue_depth=QUEUE_BOUND
+    ) as (daemon, client):
+        # Burst 3x over the admission bound.  Every ~4th request carries a
+        # short deadline; the ones deep in the queue must expire *before*
+        # dispatch rather than burn a worker.
+        accepted: dict[str, KernelSpec] = {}
+        shed = 0
+        for i in range(N_CHAOS):
+            base, source, inputs = PATTERNS[i % len(PATTERNS)]
+            spec = KernelSpec(f"chaos_{base}_{i}", source, inputs)
+            deadline = 0.3 if i % 4 == 1 else None
+            try:
+                rid = client.submit(spec, priority=i % 3, deadline_s=deadline)
+            except ShedError as exc:
+                shed += 1
+                assert exc.retry_after_s > 0  # structured backpressure
+                continue
+            accepted[rid] = spec
+        assert shed >= 1, "a 3x burst never tripped admission control"
+        assert len(accepted) >= QUEUE_BOUND  # the bound admitted a full queue
+
+        # Wedge one worker mid-task: SIGSTOP stops the beat of its process
+        # without killing it — the pool's hard deadline must replace it.
+        deadline = time.monotonic() + 60
+        member = daemon.pool._members[0]
+        while member.task is None:
+            assert time.monotonic() < deadline, "worker never picked up a task"
+            time.sleep(0.05)
+        os.kill(member.proc.pid, signal.SIGSTOP)
+
+        # Drain everything that was admitted.
+        outcomes = {}
+        lock = threading.Lock()
+
+        def collect(rid: str) -> None:
+            outcome = client.result(rid, wait=True, timeout_s=540)
+            with lock:
+                outcomes[rid] = outcome
+
+        waiters = [threading.Thread(target=collect, args=(rid,)) for rid in accepted]
+        for t in waiters:
+            t.start()
+        for t in waiters:
+            t.join(560)
+        assert not any(t.is_alive() for t in waiters), "a result wait hung"
+
+        # Every accepted request is terminal; nothing hung, nothing lost.
+        assert set(outcomes) == set(accepted)
+        statuses = Counter(o.status for o in outcomes.values())
+        assert set(statuses) <= TERMINAL
+        # The queue-side deadline enforcement really fired.
+        counters = client.metrics()["counters"]
+        assert counters["serve.deadline_expired"] >= 1
+        # The SIGSTOP'd worker was hard-killed and replaced.
+        status = client.status()
+        assert status["pool"]["pool.replacements"] >= 1
+        assert status["pool"]["alive"] == daemon.pool.size
+        assert status["pool"]["busy"] == 0
+        assert status["queued"] == 0
+        # Lifecycle hygiene kept firing under load.
+        assert status["pool"]["pool.recycled"] >= 1
+
+        # Corrupt the stored object of a finished improved kernel and
+        # resubmit it: quarantined + re-served, never crashed.
+        victim = next(
+            (
+                spec
+                for rid, spec in accepted.items()
+                if outcomes[rid].status == "ok"
+                and outcomes[rid].improved
+                # Only synthesized results are published to the store;
+                # rule-cache and pattern hits have no object to corrupt.
+                and daemon.store._object_path(
+                    content_key(spec, daemon.fingerprint)
+                ).exists()
+            ),
+            None,
+        )
+        assert victim is not None, "chaos killed every single kernel"
+        path = daemon.store._object_path(content_key(victim, daemon.fingerprint))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        again = client.submit(victim)
+        reserved = client.result(again, wait=True, timeout_s=300)
+        assert reserved.status in TERMINAL
+        assert client.status(again)["served_from"] != "store"
+        assert client.metrics()["counters"]["serve.store_quarantined"] >= 1
+
+        # The daemon itself answers health probes after the storm.
+        health = client.health()
+        assert health["healthy"] is True
+        assert health["pool_alive"] == daemon.pool.size
