@@ -1,0 +1,161 @@
+"""Semantic pre-screen benchmark: analyzer-off baseline vs analyzer-on.
+
+Runs the kernel-module batch (shared with ``bench_parallel``) through the
+sequential :class:`ModuleOptimizer` twice — once with
+``use_analysis_prescreen=False`` (every candidate pays the full
+residue/symbolic equivalence pipeline) and once with the
+abstract-interpretation pre-screen, which prunes candidates whose abstract
+semantics already refute them (syntactically-zero denominators in the
+enumerator, disjoint entry hulls in the base-case matcher) — each cold, in a
+freshly *spawned* interpreter so neither run inherits process-wide caches.
+
+The pre-screen is a pure execution strategy: it may only skip work whose
+outcome it proves.  The benchmark therefore asserts the two runs'
+``ModuleResult.summary()`` strings are **byte-identical**, that the
+analyzer-on run actually pruned something (``analysis.prescreen_pruned``),
+and that it did not *add* SymPy fallbacks.  Any violation fails the run.
+
+Results land in ``BENCH_analysis_prescreen.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_analysis_prescreen.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import sys
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from bench_parallel import TIMEOUT_SECONDS, make_batch  # noqa: E402
+
+OUTPUT = _REPO / "BENCH_analysis_prescreen.json"
+
+#: Four kernels, three distinct patterns — the CI smoke subset.
+SMOKE_KERNELS = ("exp_log_33", "matmul_33", "matmul_44", "inner_33")
+
+_COUNTERS = (
+    "analysis.prescreen_checks",
+    "analysis.prescreen_pruned",
+    "analysis.prescreen_undefined",
+    "equiv.sympy_fallbacks",
+)
+
+
+def _run_mode(use_prescreen: bool, smoke: bool, queue) -> None:
+    """Child process: cold sequential batch run in one prescreen mode."""
+    from repro.pipeline import ModuleOptimizer
+    from repro.synth import SynthesisConfig
+
+    batch = make_batch()
+    if smoke:
+        batch = [k for k in batch if k.name in SMOKE_KERNELS]
+    config = SynthesisConfig(
+        timeout_seconds=TIMEOUT_SECONDS, use_analysis_prescreen=use_prescreen
+    )
+    start = time.monotonic()
+    result = ModuleOptimizer(config=config).optimize_module(batch)
+    seconds = time.monotonic() - start
+    counters = result.metrics_rollup().get("counters", {})
+    queue.put(
+        {
+            "seconds": seconds,
+            "summary": result.summary(),
+            "counters": {k: counters.get(k, 0) for k in _COUNTERS},
+        }
+    )
+
+
+def _in_fresh_process(*args) -> dict:
+    ctx = mp.get_context("spawn")
+    queue = ctx.SimpleQueue()
+    process = ctx.Process(target=_run_mode, args=(*args, queue))
+    process.start()
+    payload = queue.get()
+    process.join()
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"run only the {len(SMOKE_KERNELS)}-kernel CI subset",
+    )
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    kernels = [
+        k.name for k in make_batch() if not args.smoke or k.name in SMOKE_KERNELS
+    ]
+    report: dict = {
+        "cpu_count": os.cpu_count(),
+        "timeout_seconds": TIMEOUT_SECONDS,
+        "smoke": args.smoke,
+        "batch": kernels,
+    }
+
+    print(
+        f"baseline (use_analysis_prescreen=False, cold, {len(kernels)} kernels) ...",
+        flush=True,
+    )
+    baseline = _in_fresh_process(False, args.smoke)
+    print(f"  {baseline['seconds']:.1f}s", flush=True)
+
+    print("analyzer on (use_analysis_prescreen=True, cold) ...", flush=True)
+    screened = _in_fresh_process(True, args.smoke)
+    outcomes_match = screened["summary"] == baseline["summary"]
+    pruned = screened["counters"].get("analysis.prescreen_pruned", 0)
+    fallbacks_off = baseline["counters"].get("equiv.sympy_fallbacks", 0)
+    fallbacks_on = screened["counters"].get("equiv.sympy_fallbacks", 0)
+    print(
+        f"  {screened['seconds']:.1f}s "
+        f"({baseline['seconds'] / screened['seconds']:.2f}x, match={outcomes_match}, "
+        f"pruned={pruned}, sympy_fallbacks {fallbacks_off} -> {fallbacks_on})",
+        flush=True,
+    )
+
+    report["baseline"] = {
+        "seconds": round(baseline["seconds"], 2),
+        "counters": baseline["counters"],
+    }
+    report["prescreen"] = {
+        "seconds": round(screened["seconds"], 2),
+        "speedup_vs_baseline": round(baseline["seconds"] / screened["seconds"], 2),
+        "outcomes_match": outcomes_match,
+        "counters": screened["counters"],
+    }
+    report["summary"] = screened["summary"]
+
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.output}")
+
+    if not outcomes_match:
+        print("FAIL: prescreen outcomes differ from the baseline", file=sys.stderr)
+        print(f"--- baseline ---\n{baseline['summary']}", file=sys.stderr)
+        print(f"--- prescreen ---\n{screened['summary']}", file=sys.stderr)
+        return 1
+    if pruned <= 0:
+        print("FAIL: analysis.prescreen_pruned == 0 (pre-screen never fired)", file=sys.stderr)
+        return 1
+    if fallbacks_on > fallbacks_off:
+        print(
+            f"FAIL: sympy_fallbacks increased with the prescreen on "
+            f"({fallbacks_off} -> {fallbacks_on})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

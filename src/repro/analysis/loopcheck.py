@@ -1,0 +1,275 @@
+"""Well-formedness checker for lowered ``repro.loopir`` loop nests.
+
+Runs the interval domain over index expressions (loop variables range over
+``[0, extent - 1]``) and over scalar value expressions (parameter reads
+default to the strictly positive verification domain), and reports:
+
+* ``index-out-of-bounds`` — a ``Read``/``Store``/``Accumulate`` index whose
+  hull escapes the buffer's shape,
+* ``rank-mismatch`` — an index tuple whose arity differs from the buffer's
+  rank,
+* ``unknown-buffer`` — a reference to a buffer that is neither a
+  parameter, a constant, nor ``Alloc``-ed earlier in the nest,
+* ``division-hazard`` / ``domain-hazard`` — a scalar ``/`` whose divisor
+  hull contains zero, or a ``sqrt``/``log`` operand hull leaving the
+  function's real domain.
+
+Statements under a zero-extent loop never execute and are skipped.  Value
+tracking is deliberately coarse (one hull per buffer, ``+`` accumulation
+widens toward the appropriate infinity); it exists to make the hazard
+findings meaningful, while the bounds findings — the ones lowering bugs
+actually produce — are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.domains import TOP, Interval
+from repro.loopir.ast import (
+    Accumulate,
+    Alloc,
+    BinOp,
+    IdxAdd,
+    IdxConst,
+    IdxFloorDiv,
+    IdxMod,
+    IdxMul,
+    IdxVar,
+    IndexExpr,
+    IndexValue,
+    Literal,
+    Loop,
+    LoopFunction,
+    Read,
+    ScalarExpr,
+    Select,
+    Stmt,
+    Store,
+    UnaryFn,
+)
+
+__all__ = ["LoopFinding", "check_loop_function", "index_interval"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class LoopFinding:
+    """One structured diagnosis about a loop nest."""
+
+    code: str  # index-out-of-bounds | rank-mismatch | unknown-buffer |
+    #            division-hazard | domain-hazard
+    buffer: str | None
+    message: str
+
+    def as_dict(self) -> dict:
+        return {"code": self.code, "buffer": self.buffer, "message": self.message}
+
+
+def index_interval(expr: IndexExpr, extents: Mapping[str, int]) -> Interval:
+    """Integer interval of an index expression under the loop extents."""
+    if isinstance(expr, IdxConst):
+        return Interval.point(float(expr.value))
+    if isinstance(expr, IdxVar):
+        extent = extents.get(expr.name)
+        if extent is None:
+            return TOP
+        return Interval(0.0, float(extent - 1))
+    if isinstance(expr, IdxAdd):
+        return index_interval(expr.left, extents) + index_interval(expr.right, extents)
+    if isinstance(expr, IdxMul):
+        return index_interval(expr.base, extents) * Interval.point(float(expr.factor))
+    if isinstance(expr, IdxFloorDiv):
+        base = index_interval(expr.base, extents)
+        d = expr.divisor
+        if d <= 0 or base.lo == -_INF or base.hi == _INF:
+            return TOP
+        return Interval(float(int(base.lo) // d), float(int(base.hi) // d))
+    if isinstance(expr, IdxMod):
+        d = expr.divisor
+        if d <= 0:
+            return TOP
+        base = index_interval(expr.base, extents)
+        if base.lo >= 0.0 and base.hi <= d - 1:
+            return base
+        # Python's % is non-negative for a positive divisor.
+        return Interval(0.0, float(d - 1))
+    return TOP
+
+
+class _Checker:
+    def __init__(self, fn: LoopFunction, input_range: Interval) -> None:
+        self.fn = fn
+        self.findings: list[LoopFinding] = []
+        self.shapes: dict[str, tuple[int, ...]] = dict(fn.param_shapes)
+        self.values: dict[str, Interval] = {p: input_range for p in fn.params}
+        for name, value in fn.constants.items():
+            arr = np.asarray(value, dtype=np.float64)
+            self.shapes[name] = arr.shape
+            if arr.size:
+                self.values[name] = Interval(float(arr.min()), float(arr.max()))
+            else:
+                self.values[name] = Interval.point(0.0)
+        self.shapes.setdefault(fn.result, fn.result_shape)
+        self._seen: set[tuple] = set()
+
+    # -- findings ------------------------------------------------------------
+
+    def _report(self, code: str, buffer: str | None, message: str) -> None:
+        key = (code, buffer, message)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.findings.append(LoopFinding(code, buffer, message))
+
+    # -- index checking ------------------------------------------------------
+
+    def _check_access(
+        self,
+        buffer: str,
+        index: tuple[IndexExpr, ...],
+        extents: Mapping[str, int],
+        kind: str,
+    ) -> None:
+        shape = self.shapes.get(buffer)
+        if shape is None:
+            self._report("unknown-buffer", buffer, f"{kind} of undeclared buffer {buffer!r}")
+            return
+        if len(index) != len(shape):
+            self._report(
+                "rank-mismatch",
+                buffer,
+                f"{kind} indexes {buffer!r} with {len(index)} subscript(s) "
+                f"but the buffer has rank {len(shape)}",
+            )
+            return
+        for dim, (idx, size) in enumerate(zip(index, shape)):
+            hull = index_interval(idx, extents)
+            if hull.lo < 0.0 or hull.hi > size - 1:
+                self._report(
+                    "index-out-of-bounds",
+                    buffer,
+                    f"{kind} index {dim} of {buffer!r} spans {hull} but the "
+                    f"dimension has extent {size}",
+                )
+
+    # -- scalar value hulls --------------------------------------------------
+
+    def _value_interval(self, expr: ScalarExpr, extents: Mapping[str, int]) -> Interval:
+        if isinstance(expr, Literal):
+            return Interval.point(float(expr.value))
+        if isinstance(expr, IndexValue):
+            return index_interval(expr.index, extents)
+        if isinstance(expr, Read):
+            self._check_access(expr.buffer, expr.index, extents, "read")
+            return self.values.get(expr.buffer, TOP)
+        if isinstance(expr, Select):
+            self._value_interval(expr.cond, extents)
+            return self._value_interval(expr.if_true, extents).hull(
+                self._value_interval(expr.if_false, extents)
+            )
+        if isinstance(expr, UnaryFn):
+            a = self._value_interval(expr.operand, extents)
+            if expr.fn == "sqrt":
+                if a.may_be_negative():
+                    self._report(
+                        "domain-hazard", None, f"sqrt operand hull {a} reaches below zero"
+                    )
+                return a.sqrt()
+            if expr.fn == "log":
+                if a.may_be_nonpositive():
+                    self._report(
+                        "domain-hazard", None, f"log operand hull {a} reaches zero or below"
+                    )
+                return a.log()
+            if expr.fn == "exp":
+                return a.exp()
+            if expr.fn == "neg":
+                return -a
+            if expr.fn == "abs":
+                return a.abs()
+            return TOP
+        if isinstance(expr, BinOp):
+            left = self._value_interval(expr.left, extents)
+            right = self._value_interval(expr.right, extents)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                if right.contains_zero():
+                    self._report(
+                        "division-hazard", None, f"divisor hull {right} contains zero"
+                    )
+                return left / right
+            if expr.op == "max":
+                return left.max_(right)
+            if expr.op == "min":
+                return left.min_(right)
+            if expr.op == "<":
+                return Interval(0.0, 1.0)
+            if expr.op == "**":
+                if right.is_point:
+                    return left.pow_const(right.lo)
+                return TOP
+            return TOP
+        return TOP
+
+    # -- statements ----------------------------------------------------------
+
+    def _record_store(self, buffer: str, value: Interval, accumulate_op: str | None) -> None:
+        current = self.values.get(buffer, Interval.point(0.0))
+        if accumulate_op == "+":
+            # Accumulated an unknown number of times: widen directionally.
+            lo = 0.0 if value.lo >= 0.0 else -_INF
+            hi = 0.0 if value.hi <= 0.0 else _INF
+            value = Interval(lo, hi)
+        self.values[buffer] = current.hull(value)
+
+    def _check_stmt(self, stmt: Stmt, extents: dict[str, int]) -> None:
+        if isinstance(stmt, Alloc):
+            self.shapes[stmt.buffer] = stmt.shape
+            self.values.setdefault(stmt.buffer, Interval.point(0.0))
+            return
+        if isinstance(stmt, Loop):
+            if stmt.extent <= 0:
+                return  # body never executes
+            extents = dict(extents)
+            extents[stmt.var] = stmt.extent
+            for inner in stmt.body:
+                self._check_stmt(inner, extents)
+            return
+        if isinstance(stmt, (Store, Accumulate)):
+            value = self._value_interval(stmt.value, extents)
+            self._check_access(stmt.buffer, stmt.index, extents, type(stmt).__name__.lower())
+            op = stmt.op if isinstance(stmt, Accumulate) else None
+            self._record_store(stmt.buffer, value, op)
+            return
+
+    def run(self) -> list[LoopFinding]:
+        for stmt in self.fn.body:
+            self._check_stmt(stmt, {})
+        if self.fn.result not in self.shapes:
+            self._report(
+                "unknown-buffer", self.fn.result, "result buffer is never declared"
+            )
+        return self.findings
+
+
+def check_loop_function(
+    fn: LoopFunction, input_range: Interval | None = None
+) -> list[LoopFinding]:
+    """Check one lowered loop function; returns structured findings.
+
+    ``input_range`` is the assumed hull of every parameter element; it
+    defaults to the strictly positive verification domain, matching how
+    synthesized programs are actually validated.
+    """
+    box = input_range if input_range is not None else Interval.positive()
+    return _Checker(fn, box).run()

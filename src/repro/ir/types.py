@@ -91,8 +91,14 @@ def broadcast_shapes(a: Shape, b: Shape) -> Shape:
     for i in range(max(ra, rb)):
         da = a[ra - 1 - i] if i < ra else 1
         db = b[rb - 1 - i] if i < rb else 1
-        if da == db or da == 1 or db == 1:
-            result.append(max(da, db))
+        if da == db:
+            result.append(da)
+        elif da == 1:
+            # A 1-extent dim stretches to the other side, including to 0:
+            # np.broadcast((0,), (1,)) has shape (0,), not (1,).
+            result.append(db)
+        elif db == 1:
+            result.append(da)
         else:
             raise TypeInferenceError(f"shapes {a} and {b} are not broadcastable")
     return tuple(reversed(result))
@@ -111,7 +117,13 @@ def reduce_shape(shape: Shape, axis: int | tuple[int, ...] | None) -> Shape:
     for ax in axes:
         if ax < -len(shape) or ax >= len(shape):
             raise TypeInferenceError(f"axis {ax} out of range for shape {shape}")
-        norm.add(ax % len(shape))
+        resolved = ax % len(shape)
+        if resolved in norm:
+            # NumPy raises on duplicate reduction axes (including a positive
+            # and a negative spelling of the same axis); silently deduping
+            # here would make inferred shapes disagree with execution.
+            raise TypeInferenceError(f"duplicate axis {ax} in reduction over {shape}")
+        norm.add(resolved)
     return tuple(d for i, d in enumerate(shape) if i not in norm)
 
 

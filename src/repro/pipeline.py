@@ -21,12 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.analysis.audit import POSITIVE_POLICY, AuditReport, RuleAuditor
 from repro.cost import CostModel, make_cost_model
 from repro.egraph import optimize_with_rules
 from repro.errors import StensoError
 from repro.ir.parser import Program, parse
 from repro.ir.printer import to_source
 from repro.ir.types import TensorType
+from repro.obs.log import get_logger
 from repro.rules.mining import MinedRule, mine_rule
 from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.synth.superoptimizer import (
@@ -34,6 +36,8 @@ from repro.synth.superoptimizer import (
     superoptimize_source,
     verify_candidate,
 )
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -214,6 +218,7 @@ class ModuleOptimizer:
         config: SynthesisConfig | None = None,
         rules: Sequence[MinedRule] = (),
         cache=None,
+        auditor: RuleAuditor | None = None,
     ) -> None:
         from repro.synth.cache import as_cache
 
@@ -221,7 +226,15 @@ class ModuleOptimizer:
             make_cost_model(cost_model) if isinstance(cost_model, str) else cost_model
         )
         self.config = config or DEFAULT_CONFIG
-        self.rules: list[MinedRule] = list(rules)
+        # The auditor gates every rule entering the cache — seeded and mined
+        # alike.  The positive policy matches the domain the pipeline
+        # actually verifies on (strictly positive random inputs); pass a
+        # strict-policy auditor for a fleet-shared catalog.
+        self.auditor = auditor if auditor is not None else RuleAuditor(POSITIVE_POLICY)
+        self.audit_rejections: list[AuditReport] = []
+        self.rules: list[MinedRule] = []
+        for rule in rules:
+            self.absorb_rule(rule)
         self.cache = as_cache(cache)
 
     # -- single kernel ---------------------------------------------------------
@@ -253,7 +266,9 @@ class ModuleOptimizer:
         program = spec.parse()
         original_cost = self.cost_model.program_cost(program.node)
         margin = 1.0 - self.cost_model.decision_margin
-        best, _stats = optimize_with_rules(program.node, self.rules, self.cost_model)
+        best, _stats = optimize_with_rules(
+            program.node, self.rules, self.cost_model, auditor=self.auditor
+        )
         best_cost = self.cost_model.program_cost(best)
         if best_cost < original_cost * margin and verify_candidate(
             program, best, self.config
@@ -338,9 +353,12 @@ class ModuleOptimizer:
             cache=self.cache,
         )
         status = "degraded" if result.stats.timed_out else "ok"
+        if result.improved:
+            # Learn before snapshotting so the audit verdict counter lands
+            # in this kernel's metrics.
+            self._learn(result.program, result.optimized, spec.name, stats=result.stats)
         metrics = result.stats.metrics_snapshot()
         if result.improved:
-            self._learn(result.program, result.optimized, spec.name)
             optimized_source = to_source(
                 result.optimized, name=spec.name, input_names=program.input_names
             )
@@ -372,12 +390,14 @@ class ModuleOptimizer:
             metrics=metrics,
         )
 
-    def _learn(self, program: Program, optimized, name: str) -> None:
+    def _learn(self, program: Program, optimized, name: str, stats=None) -> None:
         try:
             rule = mine_rule(program.node, optimized, name=f"mined-{name}")
         except ValueError:
             return
-        self.absorb_rule(rule)
+        verdict = self.absorb_rule(rule)
+        if stats is not None and verdict != "duplicate":
+            stats.metrics.counter(f"analysis.audit_{verdict}").inc()
 
     # -- journal restore -------------------------------------------------------
 
@@ -434,10 +454,27 @@ class ModuleOptimizer:
         )
         return report.passed
 
-    def absorb_rule(self, rule: MinedRule) -> None:
-        """Add a mined rule to the cache unless an equal rule is present."""
-        if all(str(rule) != str(existing) for existing in self.rules):
-            self.rules.append(rule)
+    def absorb_rule(self, rule: MinedRule) -> str:
+        """Audit a mined rule and add it to the cache if it is sound.
+
+        Returns ``"admitted"``, ``"duplicate"``, or ``"rejected"``.  A
+        rejected rule's structured :class:`AuditReport` is appended to
+        ``self.audit_rejections`` — unsound rules never reach
+        ``self.rules`` and therefore never feed e-graph saturation.
+        """
+        if any(str(rule) == str(existing) for existing in self.rules):
+            return "duplicate"
+        admitted, report = self.auditor.admit(rule)
+        if not admitted:
+            self.audit_rejections.append(report)
+            log.warning(
+                "rule audit rejected",
+                rule=rule.name,
+                errors="; ".join(f.code for f in report.errors),
+            )
+            return "rejected"
+        self.rules.append(rule)
+        return "admitted"
 
     # -- whole module --------------------------------------------------------------
 

@@ -20,6 +20,7 @@ is over an unbounded family of loop bodies, so it is provided as a direct
 
 from __future__ import annotations
 
+from repro.analysis.audit import AuditWaiver
 from repro.backends.rewriter import NamedRule
 from repro.ir.nodes import Call, Const, Input, Node
 from repro.ir.types import float_tensor
@@ -68,6 +69,23 @@ DISCOVERED_RULES: tuple[MinedRule, ...] = (
     POW2_TO_MUL,
     POW_NEG1_TO_DIV,
     TRACE_DOT_IDENTITY,
+)
+
+#: Audit waivers for the shipped catalog (see :mod:`repro.analysis.audit`
+#: and the ``stenso-lint`` CLI).  Each waiver documents *why* a finding is
+#: acceptable; unwaivered errors fail the static-analysis CI gate.
+AUDIT_WAIVERS = (
+    AuditWaiver(
+        rule_name="div-sqrt",
+        codes=("definedness-narrowing",),
+        reason=(
+            "X/sqrt(X) is undefined at X=0 while sqrt(X) is 0 there, so the "
+            "strict auditor flags a domain extension.  The system verifies "
+            "and applies rules on strictly positive inputs (random_inputs "
+            "draws from [0.5, 2); input symbols carry positive=True), where "
+            "both sides are total and equal."
+        ),
+    ),
 )
 
 

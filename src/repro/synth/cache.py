@@ -85,6 +85,7 @@ _NON_SEMANTIC_FIELDS = (
     "max_solver_calls",
     "fault_plan",
     "use_fingerprints",
+    "use_analysis_prescreen",
 )
 
 

@@ -104,6 +104,14 @@ class SynthesisConfig:
     search outcomes, and summaries are identical with it off — so it is
     excluded from the cache fingerprint."""
 
+    use_analysis_prescreen: bool = True
+    """Run the static-analysis pre-screen (:mod:`repro.analysis.prescreen`)
+    inside enumeration and base-case matching: abstract interval/definedness
+    facts prune candidates whose rejection is already decided before any
+    symbolic or residue work, counted under ``analysis.*`` metrics.  Purely
+    an execution strategy — search outcomes and summaries are identical
+    with it off — so it is excluded from the cache fingerprint."""
+
     # -- solver ---------------------------------------------------------------
     solver_generic_fallback: bool = True
     """Use the fresh-unknowns + sympy.solve fallback when no chain of local

@@ -30,6 +30,8 @@ from typing import Iterator
 import numpy as np
 import sympy as sp
 
+from repro.analysis import counters as _an
+from repro.analysis import prescreen as _prescreen
 from repro.cost.base import CostModel
 from repro.errors import TypeInferenceError
 from repro.ir.nodes import Call, Const, Input, Node
@@ -293,6 +295,15 @@ class StubEnumerator:
             if node in self._seen_nodes:
                 return None
             self._seen_nodes.add(node)
+        if isinstance(node, Call) and node.op == "divide" and _an.enabled():
+            _an.bump("prescreen_checks")
+            if _prescreen.divides_by_provable_zero(node):
+                # The denominator is syntactically zero, so every entry is
+                # zoo/nan and the undefined-entry check below would reject
+                # the candidate — prune before any residue/symbolic work.
+                _an.bump("prescreen_pruned")
+                _an.bump("prescreen_undefined")
+                return None
         fast = self._use_fp and _fp.enabled()
         if fast and isinstance(node, Call):
             res = self._compose_residues(node)

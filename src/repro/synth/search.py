@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis import counters as _an
+from repro.analysis import prescreen as _prescreen
 from repro.errors import SynthesisTimeout
 from repro.cost.base import CostModel
 from repro.obs.metrics import DEPTH_BUCKETS, LATENCY_BUCKETS_S, MetricsRegistry
@@ -86,6 +88,9 @@ class SearchStats:
     sympy_fallbacks: int = 0
     intern_hits: int = 0
     solver_prescreened: int = 0
+    # -- static-analysis pre-screen counters (see repro.analysis.prescreen) ----
+    analysis_prescreen_checks: int = 0
+    analysis_prescreen_pruned: int = 0
     # -- typed metrics registry ------------------------------------------------
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry, repr=False)
 
@@ -148,6 +153,14 @@ class SearchStats:
         for name, value in sorted(delta.items()):
             if value:
                 self.metrics.counter(f"equiv.{name}").inc(int(value))
+
+    def record_analysis_counters(self, delta: dict) -> None:
+        """Fold one kernel's analysis pre-screen counter delta into the stats."""
+        self.analysis_prescreen_checks += delta.get("prescreen_checks", 0)
+        self.analysis_prescreen_pruned += delta.get("prescreen_pruned", 0)
+        for name, value in sorted(delta.items()):
+            if value:
+                self.metrics.counter(f"analysis.{name}").inc(int(value))
 
     def metrics_snapshot(self) -> dict:
         """Registry snapshot with derived cache-hit-ratio gauges refreshed."""
@@ -391,6 +404,14 @@ def _match_base_case(spec: SymTensor, key: tuple, ctx: SearchContext):
                 # simplify-based check.  (Equal batteries cannot reach here:
                 # the value tier would already have matched.)
                 _fp.bump("fingerprint_rejects")
+                continue
+        if _an.enabled():
+            # Abstract tier: disjoint entry hulls over the verification box
+            # prove the stub differs from the spec somewhere, so the
+            # ``equivalent`` call below could only return False — skip it.
+            _an.bump("prescreen_checks")
+            if _prescreen.tensors_disjoint(e.tensor, spec):
+                _an.bump("prescreen_pruned")
                 continue
         if equivalent(e.tensor, spec):
             return e

@@ -22,6 +22,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.analysis import counters as _an
 from repro.cost import CostModel, make_cost_model, with_caching
 from repro.cost.cached import CachingCostModel
 from repro.errors import StensoError, SynthesisTimeout, VerificationError
@@ -151,6 +152,8 @@ def superoptimize_program(
     budget = budget if budget is not None else Budget.for_config(config)
     _fp.set_enabled(config.use_fingerprints)
     equiv_base = _fp.counters_snapshot()
+    _an.set_enabled(config.use_analysis_prescreen)
+    analysis_base = _an.snapshot()
     tracer = get_tracer()
     start = time.monotonic()
 
@@ -217,6 +220,7 @@ def superoptimize_program(
     if isinstance(cost_model, CachingCostModel):
         ctx.stats.cost_cache_hits = cost_model.hits
     ctx.stats.record_equiv_counters(_fp.counters_delta(equiv_base))
+    ctx.stats.record_analysis_counters(_an.delta(analysis_base))
     if not improved:
         result, result_cost = program.node, cost_min  # line 10
 

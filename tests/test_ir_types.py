@@ -75,6 +75,33 @@ class TestBroadcast:
         with pytest.raises(TypeInferenceError):
             broadcast_shapes(a, b)
 
+    def test_zero_extent_vs_one(self):
+        # np.broadcast((0,), (1,)) has shape (0,) — a 1-dim stretches to 0.
+        assert broadcast_shapes((0,), (1,)) == (0,)
+        assert broadcast_shapes((1,), (0,)) == (0,)
+        assert broadcast_shapes((2, 1), (1, 0)) == (2, 0)
+
+    def test_zero_extent_vs_equal(self):
+        assert broadcast_shapes((0,), (0,)) == (0,)
+
+    def test_zero_extent_vs_other_rejected(self):
+        # NumPy refuses (0,) vs (3,): neither is 1, and 0 != 3.
+        with pytest.raises(TypeInferenceError):
+            broadcast_shapes((0,), (3,))
+
+    def test_matches_numpy(self):
+        np = pytest.importorskip("numpy")
+        for a, b in [
+            ((0,), (1,)), ((2, 0), (1,)), ((1, 1), (0, 5)), ((), (0,)),
+            ((3, 1, 2), (1, 0, 1)),
+        ]:
+            expected = np.broadcast_shapes(a, b)
+            assert broadcast_shapes(a, b) == expected
+            assert broadcast_shapes(b, a) == expected
+
+    def test_both_empty(self):
+        assert broadcast_shapes((), ()) == ()
+
 
 class TestReduceShape:
     def test_axis_none(self):
@@ -92,6 +119,41 @@ class TestReduceShape:
         with pytest.raises(TypeInferenceError):
             reduce_shape((3,), 2)
 
+    def test_negative_out_of_range(self):
+        with pytest.raises(TypeInferenceError):
+            reduce_shape((3, 4), -3)
+
+    def test_empty_axis_tuple_is_noop(self):
+        # np.sum(x, axis=()) reduces nothing.
+        assert reduce_shape((3, 4), ()) == (3, 4)
+
+    def test_all_negative_axes(self):
+        assert reduce_shape((2, 3, 4), (-1, -3)) == (3,)
+
+    def test_duplicate_axis_rejected(self):
+        # NumPy raises on duplicate reduction axes, including a positive and
+        # a negative spelling of the same axis.
+        with pytest.raises(TypeInferenceError):
+            reduce_shape((3, 4), (0, 0))
+        with pytest.raises(TypeInferenceError):
+            reduce_shape((3, 4), (0, -2))
+
+    def test_rank0_any_axis_rejected(self):
+        # Every axis is out of range for a scalar (len(shape) == 0 means the
+        # bound check must fire before any modulo).
+        with pytest.raises(TypeInferenceError):
+            reduce_shape((), 0)
+        with pytest.raises(TypeInferenceError):
+            reduce_shape((), -1)
+
+    def test_rank0_none_and_empty(self):
+        assert reduce_shape((), None) == ()
+        assert reduce_shape((), ()) == ()
+
+    def test_zero_extent_dims(self):
+        assert reduce_shape((0, 3), 0) == (3,)
+        assert reduce_shape((0, 3), 1) == (0,)
+
 
 class TestNormalizeAxis:
     def test_positive(self):
@@ -103,6 +165,14 @@ class TestNormalizeAxis:
     def test_out_of_range(self):
         with pytest.raises(TypeInferenceError):
             normalize_axis(3, 3)
+
+    def test_rank0_rejected(self):
+        # rank 0 has no valid axes; the bound check must precede the modulo
+        # (axis % 0 would raise ZeroDivisionError).
+        with pytest.raises(TypeInferenceError):
+            normalize_axis(0, 0)
+        with pytest.raises(TypeInferenceError):
+            normalize_axis(-1, 0)
 
 
 class TestShrinkShape:
